@@ -1,0 +1,17 @@
+"""E6 — Lemma 5: P_k(tau > t) <= exp(-t/144) for t >= 8k in the bin-load chain."""
+
+from __future__ import annotations
+
+
+def test_e6_absorption_tail(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E6",
+        params={"n": 1024, "starts": [1, 4, 8, 16, 32], "horizon_factor": 4.0, "mc_trials": 300},
+    )
+    for row in result.rows:
+        # the exact tail never exceeds the paper's envelope on the checked grid
+        assert row["bound_violations"] == 0
+        # and the exact tail at t = 8k is indeed below the bound evaluated there
+        assert row["exact_survival_at_8k"] <= row["bound_at_8k"] + 1e-12
+        # Wald's identity: expected absorption time is k / 0.25 = 4k
+        assert abs(row["expected_absorption_time"] - 4 * row["start_k"]) < 1e-6

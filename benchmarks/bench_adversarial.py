@@ -1,0 +1,30 @@
+"""E9 — Section 4.1: periodic adversarial faults every gamma*n rounds are absorbed."""
+
+from __future__ import annotations
+
+
+def test_e9_adversarial(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E9",
+        params={
+            "n": 256,
+            "gammas": [2.0, 6.0, 12.0, None],
+            "trials": 4,
+            "rounds_factor": 30.0,
+            "adversary": "concentrate",
+        },
+    )
+    by_gamma = {row["gamma"]: row for row in result.rows}
+    # the fault-free run never builds up a heavy bin
+    fault_free = by_gamma[0]
+    assert fault_free["mean_window_max_load"] <= 30
+    # with gamma >= 6 every fault (with room left to recover) recovers, and
+    # recovery is linear in n (a small fraction of the fault period)
+    for gamma in (6.0, 12.0):
+        row = by_gamma[gamma]
+        assert row["eligible_recovered_fraction"] == 1.0
+        assert row["mean_recovery_rounds"] <= 3 * row["n"]
+        assert row["mean_recovery_rounds"] < 0.5 * row["fault_period"]
+    # recovery time does not depend on the fault frequency (it is a property of
+    # the process, not of the schedule)
+    assert abs(by_gamma[6.0]["mean_recovery_rounds"] - by_gamma[12.0]["mean_recovery_rounds"]) <= 256

@@ -1,0 +1,18 @@
+"""A3 — ablation: Tetris arrival rate rho*n (the role of the negative drift)."""
+
+from __future__ import annotations
+
+
+def test_a3_arrival_rate_ablation(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "A3",
+        params={"n": 256, "rhos": [0.5, 0.75, 0.9, 1.0], "trials": 4, "rounds_factor": 8.0},
+    )
+    by_rho = {row["rho"]: row for row in result.rows}
+    # the paper's 3/4 rate (and anything below it) keeps the max load logarithmic
+    assert by_rho[0.5]["window_max_over_log_n"] <= 4.0
+    assert by_rho[0.75]["window_max_over_log_n"] <= 5.0
+    # removing the drift entirely (rho = 1) visibly degrades the max load
+    assert by_rho[1.0]["mean_window_max"] > by_rho[0.75]["mean_window_max"]
+    # and the degradation is monotone in rho
+    assert by_rho[0.9]["mean_window_max"] >= by_rho[0.75]["mean_window_max"] - 1

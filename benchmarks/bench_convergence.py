@@ -1,0 +1,17 @@
+"""E2 — Theorem 1 (convergence): legitimate configuration within O(n) rounds."""
+
+from __future__ import annotations
+
+
+def test_e2_convergence(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E2",
+        params={"sizes": [64, 128, 256, 512], "trials": 5, "budget_factor": 30.0, "n_workers": 0},
+    )
+    rows = result.rows
+    assert all(row["converged_fraction"] == 1.0 for row in rows)
+    # convergence time is linear in n: the normalized time stays bounded
+    for row in rows:
+        assert row["convergence_over_n"] <= 6.0
+    # and the fitted exponent (reported in the notes) should be near 1
+    assert any("exponent" in note or "n^" in note for note in result.notes)

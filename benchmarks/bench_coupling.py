@@ -1,0 +1,17 @@
+"""E4 — Lemma 3: the Tetris process dominates the original process."""
+
+from __future__ import annotations
+
+
+def test_e4_coupling(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E4", params={"sizes": [64, 256, 512], "trials": 8, "rounds_factor": 2.0}
+    )
+    for row in result.rows:
+        # max-load domination holds in every trial; bin-wise domination in
+        # essentially every trial (allow one failure at the smallest n)
+        assert row["maxload_domination_fraction"] >= 0.85
+        assert row["binwise_domination_fraction"] >= 0.85
+        assert row["mean_tetris_max"] >= row["mean_original_max"] - 1e-9
+    # at the larger sizes the failure probability is negligible
+    assert result.rows[-1]["binwise_domination_fraction"] == 1.0

@@ -1,0 +1,23 @@
+"""E8 — Corollary 1: parallel cover time O(n log^2 n) vs single-token Theta(n log n)."""
+
+from __future__ import annotations
+
+import math
+
+
+def test_e8_cover_time(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E8", params={"sizes": [16, 32, 64], "trials": 4, "budget_factor": 40.0, "n_workers": 0}
+    )
+    rows = result.rows
+    assert all(row["completed_fraction"] == 1.0 for row in rows)
+    for row in rows:
+        n = row["n"]
+        # the multi-token cover time sits between the single-token baseline and
+        # the Corollary 1 envelope
+        assert row["mean_multi_cover"] >= 0.5 * row["single_cover_expected"]
+        assert row["multi_cover_over_nlog2n"] <= 10.0
+        # the slowdown over a single token is at most a few log n
+        assert row["slowdown_vs_single"] <= 4 * math.log(n)
+    # direction: the normalized cover time (over n log n) does not shrink with n
+    assert rows[-1]["multi_cover_over_nlogn"] >= 0.5 * rows[0]["multi_cover_over_nlogn"]

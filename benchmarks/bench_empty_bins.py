@@ -1,0 +1,13 @@
+"""E3 — Lemmas 1-2: at least n/4 bins are empty in every round after the first."""
+
+from __future__ import annotations
+
+
+def test_e3_empty_bins(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E3", params={"sizes": [64, 256, 512], "trials": 5, "rounds_factor": 4.0}
+    )
+    for row in result.rows:
+        # the worst observed empty fraction never drops below the n/4 bound
+        assert row["worst_min_empty_fraction"] >= 0.25
+        assert row["frac_trials_above_quarter"] == 1.0

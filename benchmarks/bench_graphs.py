@@ -1,0 +1,26 @@
+"""E13 — open question (Section 5): the process on general graph topologies."""
+
+from __future__ import annotations
+
+
+def test_e13_graph_topologies(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E13",
+        params={
+            "n": 256,
+            "topologies": ["complete", "hypercube", "random_regular", "torus", "cycle"],
+            "trials": 3,
+            "rounds_factor": 4.0,
+        },
+    )
+    by_topology = {row["topology"]: row for row in result.rows}
+    # dense / expanding topologies stay logarithmic
+    assert by_topology["complete"]["window_max_over_log_n"] <= 4.0
+    assert by_topology["hypercube"]["window_max_over_log_n"] <= 5.0
+    assert by_topology["random_regular"]["window_max_over_log_n"] <= 5.0
+    # the ring accumulates at least as much congestion as the clique over the
+    # same window (the phenomenon that makes the open question hard)
+    assert (
+        by_topology["cycle"]["mean_window_max"]
+        >= by_topology["complete"]["mean_window_max"] - 1
+    )

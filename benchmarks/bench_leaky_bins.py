@@ -1,0 +1,19 @@
+"""E15 — leaky bins ([18]): probabilistic Tetris with Binomial(n, lambda) arrivals."""
+
+from __future__ import annotations
+
+
+def test_e15_leaky_bins(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E15",
+        params={"n": 256, "lams": [0.5, 0.75, 0.9, 0.99], "trials": 4, "rounds_factor": 8.0},
+    )
+    by_lam = {row["lam"]: row for row in result.rows}
+    # subcritical arrival rates keep the maximum load logarithmic
+    assert by_lam[0.5]["window_max_over_log_n"] <= 4.0
+    assert by_lam[0.75]["window_max_over_log_n"] <= 5.0
+    # the load profile degrades monotonically as lambda -> 1
+    assert by_lam[0.9]["mean_window_max"] >= by_lam[0.5]["mean_window_max"] - 1
+    assert by_lam[0.99]["mean_window_max"] >= by_lam[0.9]["mean_window_max"] - 1
+    # near-critical rates also hold many more balls in the system overall
+    assert by_lam[0.99]["mean_final_total_balls"] > by_lam[0.5]["mean_final_total_balls"]

@@ -1,0 +1,19 @@
+"""E12 — open question (Section 5): m balls in n bins."""
+
+from __future__ import annotations
+
+
+def test_e12_m_balls(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E12",
+        params={"n": 256, "ratios": [0.5, 1.0, 2.0, 4.0], "trials": 4, "rounds_factor": 4.0},
+    )
+    by_ratio = {row["m_over_n"]: row for row in result.rows}
+    # m <= n: stability indistinguishable from the m = n case
+    assert by_ratio[0.5]["window_max_over_log_n"] <= 4.0
+    assert by_ratio[1.0]["window_max_over_log_n"] <= 4.0
+    # the window max grows with the number of balls ...
+    assert by_ratio[4.0]["mean_window_max"] > by_ratio[1.0]["mean_window_max"]
+    # ... but the *excess* over the mean load m/n stays moderate, i.e. the
+    # extra balls mostly show up as a higher floor, not as instability
+    assert by_ratio[4.0]["window_max_minus_mean_load"] <= 8 * by_ratio[1.0]["mean_window_max"]

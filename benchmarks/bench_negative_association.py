@@ -1,0 +1,23 @@
+"""E14 — Appendix B: arrival counts at a bin are not negatively associated."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_e14_negative_association(run_benchmark_experiment):
+    result = run_benchmark_experiment("E14", params={"mc_sizes": [2, 4, 8], "mc_trials": 3000})
+    exact = result.rows[0]
+    assert exact["method"] == "exact"
+    # the paper's exact numbers
+    assert exact["p_first_zero"] == pytest.approx(1 / 4)
+    assert exact["p_second_zero"] == pytest.approx(3 / 8)
+    assert exact["p_joint_zero"] == pytest.approx(1 / 8)
+    assert exact["product"] == pytest.approx(3 / 32)
+    assert exact["violates_negative_association"] is True
+    # Monte-Carlo estimates agree with the exact n=2 values and the positive
+    # correlation persists at larger n
+    for row in result.rows[1:]:
+        assert row["gap"] > 0
+    mc_n2 = next(row for row in result.rows[1:] if row["n"] == 2)
+    assert abs(mc_n2["p_joint_zero"] - 1 / 8) < 0.03

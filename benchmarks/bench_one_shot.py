@@ -1,0 +1,20 @@
+"""E10 — comparison: one-shot Theta(log n/log log n) vs repeated O(log n) max load."""
+
+from __future__ import annotations
+
+
+def test_e10_one_shot_comparison(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E10", params={"sizes": [64, 256, 1024, 4096], "trials": 8, "window_factor": 1.0}
+    )
+    rows = result.rows
+    for row in rows:
+        # the repeated window maximum dominates the one-shot maximum ...
+        assert row["repeated_window_mean_max"] >= row["one_shot_mean_max"] - 1e-9
+        # ... but stays within a small constant of log n
+        assert row["repeated_over_log_n"] <= 4.0
+        # the one-shot maximum tracks the log n / log log n prediction
+        assert 0.5 <= row["one_shot_over_loglog"] <= 3.0
+    # both quantities grow with n (same direction as the asymptotics)
+    assert rows[-1]["one_shot_mean_max"] > rows[0]["one_shot_mean_max"]
+    assert rows[-1]["repeated_window_mean_max"] > rows[0]["repeated_window_mean_max"]

@@ -1,0 +1,28 @@
+"""A1 — ablation: queueing discipline obliviousness (load) vs fairness (progress)."""
+
+from __future__ import annotations
+
+
+def test_a1_queueing_ablation(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "A1",
+        params={
+            "n": 128,
+            "disciplines": ["fifo", "lifo", "random", "smallest_id"],
+            "trials": 4,
+            "rounds_factor": 4.0,
+        },
+    )
+    by_discipline = {row["discipline"]: row for row in result.rows}
+    loads = [row["mean_window_max"] for row in result.rows]
+    # Theorem 1 is oblivious to the discipline: the load curves coincide
+    assert max(loads) - min(loads) <= 3.0
+    for row in result.rows:
+        assert row["window_max_over_log_n"] <= 4.0
+    # per-ball progress is NOT oblivious: FIFO guarantees progress for every
+    # ball, the smallest-id discipline starves the highest ids
+    assert (
+        by_discipline["fifo"]["mean_min_progress"]
+        >= by_discipline["smallest_id"]["mean_min_progress"]
+    )
+    assert by_discipline["fifo"]["min_progress_per_round"] > 0.05

@@ -1,0 +1,21 @@
+"""E11 — improvement over [12]: flat O(log n) max load vs the O(sqrt(t)) envelope."""
+
+from __future__ import annotations
+
+
+def test_e11_sqrt_t(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E11", params={"n": 256, "window_factors": [1, 4, 16, 64], "trials": 4}
+    )
+    rows = result.rows
+    shortest, longest = rows[0], rows[-1]
+    # the real process's window max barely moves as the window grows 64x ...
+    assert longest["rbb_mean_window_max"] <= shortest["rbb_mean_window_max"] + 4
+    # ... and stays within a small constant of log n
+    assert longest["rbb_mean_window_max"] <= 4 * longest["log_n"]
+    # while the sqrt(t) envelope overtakes it by a wide margin at long windows
+    assert longest["sqrt_t_envelope"] > 3 * longest["rbb_mean_window_max"]
+    # the zero-drift surrogate (what the old analysis cannot exclude) really
+    # does keep growing with the window
+    assert longest["zero_drift_mean_window_max"] > shortest["zero_drift_mean_window_max"]
+    assert longest["zero_drift_mean_window_max"] > longest["rbb_mean_window_max"]

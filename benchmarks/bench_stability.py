@@ -1,0 +1,24 @@
+"""E1 — Theorem 1 (stability): max load stays O(log n) over a long window."""
+
+from __future__ import annotations
+
+import math
+
+
+def test_e1_stability(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E1",
+        params={"sizes": [64, 128, 256, 512], "trials": 5, "rounds_factor": 4.0, "n_workers": 0},
+    )
+    rows = result.rows
+    assert len(rows) == 4
+    # every size stayed legitimate in every trial (the Theorem 1 event)
+    for row in rows:
+        assert row["legitimate_fraction"] == 1.0
+        # window max within a small constant of log n
+        assert row["window_max_over_log_n"] <= 4.0
+    # growth direction: the window max grows much more slowly than n does
+    small, large = rows[0], rows[-1]
+    assert large["mean_window_max"] >= small["mean_window_max"] - 1
+    growth = large["mean_window_max"] / small["mean_window_max"]
+    assert growth <= 2.5 * (math.log(large["n"]) / math.log(small["n"]))

@@ -1,0 +1,14 @@
+"""E7 — Lemma 6: the Tetris maximum load is O(log n) over a long window."""
+
+from __future__ import annotations
+
+
+def test_e7_tetris_load(run_benchmark_experiment):
+    result = run_benchmark_experiment(
+        "E7", params={"sizes": [64, 128, 256, 512], "trials": 5, "rounds_factor": 4.0}
+    )
+    for row in result.rows:
+        assert row["window_max_over_log_n"] <= 4.0
+    # the normalized max load is roughly flat across sizes (logarithmic growth)
+    ratios = [row["window_max_over_log_n"] for row in result.rows]
+    assert max(ratios) - min(ratios) <= 2.0

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment of DESIGN.md at "benchmark scale"
+(smaller than the EXPERIMENTS.md runs so that ``pytest benchmarks/
+--benchmark-only`` completes in minutes) and asserts the *shape* of the
+result — who wins, what the growth direction is — not absolute numbers.
+
+The experiment itself is executed exactly once per benchmark via
+``benchmark.pedantic``: the timing recorded by pytest-benchmark is the
+wall-clock cost of regenerating that experiment's table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table, run_experiment
+
+
+@pytest.fixture
+def run_benchmark_experiment(benchmark):
+    """Run one registered experiment under the benchmark timer (single shot).
+
+    Returns the :class:`~repro.experiments.spec.ExperimentResult`; the
+    rendered table is attached to ``benchmark.extra_info`` so that
+    ``--benchmark-json`` output carries the regenerated rows.
+    """
+
+    def runner(experiment_id: str, params: dict, seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"params": params, "seed": seed},
+            rounds=1,
+            iterations=1,
+            warmup_rounds=0,
+        )
+        benchmark.extra_info["experiment_id"] = experiment_id
+        benchmark.extra_info["table"] = format_table(result.rows)
+        benchmark.extra_info["notes"] = list(result.notes)
+        return result
+
+    return runner

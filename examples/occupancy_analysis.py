@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Occupancy analysis: how the repeated process distributes load across bins.
+
+The maximum load is the paper's headline metric, but the full load
+*distribution* explains why the process is so well behaved: after the
+process forgets its start, the occupancy of a typical bin is close to the
+Poisson(1) profile of independent throws, with a geometrically decaying
+tail — each extra unit of load costs another unlucky round against the
+negative drift.  This example compares
+
+* the empirical occupancy of the repeated process (m = n and m = 2n),
+* the Poisson(m/n) reference (the one-shot / independent-throws limit), and
+* the fitted geometric tail-decay rate,
+
+and relates the empty-bin mass to the n/4 bound of Lemmas 1-2.
+
+Run with ``python examples/occupancy_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.occupancy import (
+    empirical_occupancy,
+    geometric_tail_fit,
+    poisson_occupancy,
+)
+from repro.experiments import format_table
+
+
+def analyze(n: int, ratio: float, rounds: int, seed: int) -> dict:
+    m = int(ratio * n)
+    dist = empirical_occupancy(n, rounds=rounds, n_balls=m, seed=seed)
+    reference = poisson_occupancy(mean=m / n)
+    return {
+        "n": n,
+        "m": m,
+        "mean_load": round(dist.mean, 3),
+        "empty_fraction": round(dist.empty_fraction, 3),
+        "P(load>=3)": round(dist.tail(3), 4),
+        "P(load>=6)": round(dist.tail(6), 5),
+        "tv_vs_poisson": round(dist.total_variation(reference), 3),
+        "geometric_decay_rate": round(geometric_tail_fit(dist, start=1), 3),
+        "p99_load": dist.quantile(0.99),
+    }
+
+
+def main() -> int:
+    n = 512
+    rounds = 8 * n
+    rows = [
+        analyze(n, ratio=1.0, rounds=rounds, seed=0),
+        analyze(n, ratio=0.5, rounds=rounds, seed=1),
+        analyze(n, ratio=2.0, rounds=rounds, seed=2),
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"Stationary occupancy of the repeated balls-into-bins process (n = {n}, {rounds} rounds)",
+        )
+    )
+    print(
+        "\nReading the table:\n"
+        "  * empty_fraction comfortably exceeds the 0.25 bound of Lemmas 1-2 for m <= n;\n"
+        "  * the distance to the Poisson(m/n) reference is small — correlations exist\n"
+        "    (Appendix B) but they barely distort the bulk of the occupancy profile;\n"
+        "  * the tail decays geometrically (decay rate well below 1), which is why the\n"
+        "    maximum over n bins and poly(n) rounds stays at O(log n) — Theorem 1's shape."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

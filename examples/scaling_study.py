@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Scaling study: how the maximum load and convergence time grow with n.
+
+Reproduces the quantitative heart of the paper on a sweep of system sizes,
+using the parallel Monte-Carlo runner to spread independent trials across
+CPU cores:
+
+* window maximum load from a legitimate start  -> fits c * log n (Theorem 1),
+  compared against the one-shot balls-into-bins maximum (log n / log log n)
+  and the sqrt(t) envelope of the earlier analysis;
+* convergence time from the all-in-one start   -> fits a power law with
+  exponent ~ 1 (linear, Theorem 1).
+
+Run with ``python examples/scaling_study.py [--workers K]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+import numpy as np
+
+from repro import LoadConfiguration, RepeatedBallsIntoBins, one_shot_max_load
+from repro.analysis.bounds import sqrt_window_bound
+from repro.analysis.fitting import fit_log_growth, fit_power_law
+from repro.experiments import format_table
+from repro.parallel.runner import run_trials
+from repro.rng import as_generator
+
+
+def stability_trial(trial_index: int, seed, n: int, rounds: int) -> dict:
+    """One stability trial: window max load from a one-shot random start."""
+    rng = as_generator(seed)
+    process = RepeatedBallsIntoBins(n, initial=LoadConfiguration.random_uniform(n, seed=rng), seed=rng)
+    result = process.run(rounds)
+    return {"window_max": result.max_load_seen}
+
+
+def convergence_trial(trial_index: int, seed, n: int) -> dict:
+    """One convergence trial: rounds to legitimacy from the all-in-one start."""
+    rng = as_generator(seed)
+    process = RepeatedBallsIntoBins(n, initial=LoadConfiguration.all_in_one(n), seed=rng)
+    hit = process.run_until_legitimate(max_rounds=30 * n)
+    return {"convergence": -1 if hit is None else hit}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=0, help="worker processes (0 = sequential)")
+    parser.add_argument("--trials", type=int, default=8, help="Monte-Carlo trials per size")
+    args = parser.parse_args()
+
+    sizes = [64, 128, 256, 512, 1024, 2048]
+    rows = []
+    window_maxima = []
+    convergence_means = []
+    for n in sizes:
+        rounds = 4 * n
+        stability_records = run_trials(
+            stability_trial, args.trials, seed=10 + n, n_workers=args.workers, n=n, rounds=rounds
+        )
+        convergence_records = run_trials(
+            convergence_trial, args.trials, seed=20 + n, n_workers=args.workers, n=n
+        )
+        window_max = float(np.mean([r["window_max"] for r in stability_records]))
+        convergence = float(np.mean([r["convergence"] for r in convergence_records]))
+        one_shot = float(np.mean([one_shot_max_load(n, seed=s) for s in range(args.trials)]))
+        window_maxima.append(window_max)
+        convergence_means.append(convergence)
+        rows.append(
+            {
+                "n": n,
+                "window_max": round(window_max, 1),
+                "window_max/log_n": round(window_max / math.log(n), 2),
+                "one_shot_max": round(one_shot, 1),
+                "sqrt_t_envelope": round(sqrt_window_bound(rounds), 1),
+                "convergence": round(convergence, 1),
+                "convergence/n": round(convergence / n, 2),
+            }
+        )
+
+    print(format_table(rows, title="Scaling of the repeated balls-into-bins process"))
+
+    log_fit = fit_log_growth(sizes, window_maxima)
+    power_fit = fit_power_law(sizes, convergence_means)
+    print(
+        f"\nwindow max load ~ {log_fit.params['coefficient']:.2f} * log n + "
+        f"{log_fit.params['intercept']:.2f}   (R^2 = {log_fit.r_squared:.3f}; "
+        "Theorem 1 predicts Theta(log n))"
+    )
+    print(
+        f"convergence time ~ {power_fit.params['coefficient']:.2f} * n^"
+        f"{power_fit.params['exponent']:.2f}   (R^2 = {power_fit.r_squared:.3f}; "
+        "Theorem 1 predicts a linear law)"
+    )
+    print(
+        "\nNote how the measured window maximum sits far below the sqrt(t) envelope of the\n"
+        "earlier analysis and just above the one-shot maximum — exactly the paper's point."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

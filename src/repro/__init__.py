@@ -1,0 +1,119 @@
+"""repro — a reproduction of *Self-stabilizing repeated balls-into-bins*.
+
+The library implements the repeated balls-into-bins process of Becchetti,
+Clementi, Natale, Pasquale and Posta (SPAA 2015 / Distributed Computing
+2019), every auxiliary process its analysis relies on (the Tetris process,
+the Lemma 3 coupling, the Lemma 5 absorbing chain), the multi-token
+traversal protocol of Section 4, the adversarial fault model of Section 4.1,
+the baselines it is compared against, and an experiment harness that
+empirically reproduces each theorem/lemma/corollary as a table (see
+DESIGN.md and EXPERIMENTS.md).
+
+Quickstart
+----------
+>>> from repro import RepeatedBallsIntoBins, LoadConfiguration
+>>> process = RepeatedBallsIntoBins(1024, initial=LoadConfiguration.all_in_one(1024), seed=0)
+>>> hit = process.run_until_legitimate(max_rounds=20 * 1024)
+>>> hit is not None and hit <= 20 * 1024
+True
+"""
+
+from .adversary import (
+    Adversary,
+    ConcentrateAdversary,
+    FaultSchedule,
+    FaultyProcess,
+    PyramidAdversary,
+    ShuffleAdversary,
+)
+from .baselines import (
+    DChoicesProcess,
+    IndependentThrowsProcess,
+    one_shot_max_load,
+    theoretical_one_shot_max_load,
+)
+from .core import (
+    CoupledRun,
+    CouplingResult,
+    EmptyBinsTracker,
+    LegitimacyTracker,
+    LoadConfiguration,
+    MaxLoadTracker,
+    ProbabilisticTetris,
+    RepeatedBallsIntoBins,
+    SimulationResult,
+    TetrisProcess,
+    TokenRepeatedBallsIntoBins,
+    legitimacy_threshold,
+)
+from .errors import (
+    ConfigurationError,
+    CouplingError,
+    ExperimentError,
+    GraphError,
+    ReproError,
+    SimulationError,
+)
+from .experiments import available_experiments, format_table, run_experiment
+from .graphs import ConstrainedParallelWalks, Topology, complete_graph, cycle_graph
+from .markov import BinLoadChain, FiniteMarkovChain, absorption_tail_bound
+from .rng import as_generator, spawn_generators
+from .traversal import MultiTokenTraversal, SingleTokenWalk, expected_single_cover_time
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "LoadConfiguration",
+    "legitimacy_threshold",
+    "RepeatedBallsIntoBins",
+    "SimulationResult",
+    "TetrisProcess",
+    "ProbabilisticTetris",
+    "CoupledRun",
+    "CouplingResult",
+    "TokenRepeatedBallsIntoBins",
+    "MaxLoadTracker",
+    "EmptyBinsTracker",
+    "LegitimacyTracker",
+    # markov
+    "FiniteMarkovChain",
+    "BinLoadChain",
+    "absorption_tail_bound",
+    # graphs
+    "Topology",
+    "complete_graph",
+    "cycle_graph",
+    "ConstrainedParallelWalks",
+    # traversal
+    "MultiTokenTraversal",
+    "SingleTokenWalk",
+    "expected_single_cover_time",
+    # adversary
+    "Adversary",
+    "ConcentrateAdversary",
+    "PyramidAdversary",
+    "ShuffleAdversary",
+    "FaultSchedule",
+    "FaultyProcess",
+    # baselines
+    "one_shot_max_load",
+    "theoretical_one_shot_max_load",
+    "DChoicesProcess",
+    "IndependentThrowsProcess",
+    # experiments
+    "run_experiment",
+    "available_experiments",
+    "format_table",
+    # rng
+    "as_generator",
+    "spawn_generators",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "CouplingError",
+    "GraphError",
+    "ExperimentError",
+]

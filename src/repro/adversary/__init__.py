@@ -1,0 +1,35 @@
+"""Adversarial fault model (Section 4.1).
+
+In some *faulty* rounds an adversary may re-assign the balls to the bins in
+an arbitrary way (it cannot create or destroy balls).  The paper shows that
+as long as faulty rounds occur with frequency at most once every ``gamma n``
+rounds (for ``gamma >= 6``), the ``O(n log^2 n)`` cover-time bound survives
+up to constants, because the linear self-stabilization time (Theorem 1)
+absorbs each fault.
+
+:mod:`repro.adversary.adversaries` provides concrete reassignment
+strategies; :mod:`repro.adversary.faulty_process` wraps any load-level
+process with periodic (or externally triggered) fault injection.
+"""
+
+from .adversaries import (
+    Adversary,
+    ConcentrateAdversary,
+    PyramidAdversary,
+    ShuffleAdversary,
+    TargetHeaviestAdversary,
+    get_adversary,
+)
+from .faulty_process import FaultSchedule, FaultyProcess, FaultyRunResult
+
+__all__ = [
+    "Adversary",
+    "ConcentrateAdversary",
+    "PyramidAdversary",
+    "ShuffleAdversary",
+    "TargetHeaviestAdversary",
+    "get_adversary",
+    "FaultSchedule",
+    "FaultyProcess",
+    "FaultyRunResult",
+]

@@ -1,0 +1,161 @@
+"""Adversarial reassignment strategies.
+
+An adversary takes the current load vector and returns a new one with the
+*same total number of balls* (it may not create or destroy balls — that is
+the constraint of the Section 4.1 fault model).  Strategies range from the
+worst case for convergence time (concentrate everything in one bin) to a
+mild reshuffle (random permutation of bin labels).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type
+
+import numpy as np
+
+from ..core.config import LoadConfiguration
+from ..errors import ConfigurationError
+from ..types import LoadVector
+
+__all__ = [
+    "Adversary",
+    "ConcentrateAdversary",
+    "PyramidAdversary",
+    "ShuffleAdversary",
+    "TargetHeaviestAdversary",
+    "get_adversary",
+    "available_adversaries",
+]
+
+
+class Adversary(ABC):
+    """A ball-conserving reassignment of the current configuration."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def reassign(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
+        """Return a new load vector with the same total as ``loads``."""
+
+    def __call__(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
+        result = np.asarray(self.reassign(loads, rng), dtype=np.int64)
+        if result.shape != np.asarray(loads).shape:
+            raise ConfigurationError(
+                f"{type(self).__name__} changed the number of bins"
+            )
+        if int(result.sum()) != int(np.asarray(loads).sum()):
+            raise ConfigurationError(
+                f"{type(self).__name__} did not conserve the number of balls"
+            )
+        if np.any(result < 0):
+            raise ConfigurationError(f"{type(self).__name__} produced negative loads")
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ConcentrateAdversary(Adversary):
+    """Move every ball into a single bin — the worst case for convergence.
+
+    The target bin is chosen uniformly at random each fault (a fixed target
+    would be equivalent for the anonymous process).
+    """
+
+    name = "concentrate"
+
+    def reassign(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
+        loads = np.asarray(loads)
+        out = np.zeros_like(loads)
+        out[int(rng.integers(0, loads.size))] = int(loads.sum())
+        return out
+
+
+class PyramidAdversary(Adversary):
+    """Rebuild the configuration as a geometric "pyramid" (half the balls in
+    the first bin, half of the rest in the second, ...)."""
+
+    name = "pyramid"
+
+    def reassign(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
+        loads = np.asarray(loads)
+        total = int(loads.sum())
+        return LoadConfiguration.pyramid(loads.size, total).as_array()
+
+
+class ShuffleAdversary(Adversary):
+    """Permute bin labels uniformly at random — preserves the load multiset,
+    so it perturbs token positions without changing any load statistic."""
+
+    name = "shuffle"
+
+    def reassign(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
+        loads = np.asarray(loads)
+        return loads[rng.permutation(loads.size)]
+
+
+class TargetHeaviestAdversary(Adversary):
+    """Move a fraction of all balls onto the currently heaviest bin.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of the total ball count to pile onto the heaviest bin
+        (clipped to what the other bins actually hold).
+    """
+
+    name = "target_heaviest"
+
+    def __init__(self, fraction: float = 0.5) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def reassign(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
+        loads = np.array(loads, dtype=np.int64, copy=True)
+        total = int(loads.sum())
+        if total == 0:
+            return loads
+        target = int(np.argmax(loads))
+        to_move = int(self.fraction * total)
+        # harvest balls from the other bins, largest first, until quota met
+        order = np.argsort(loads)[::-1]
+        for bin_index in order:
+            if to_move <= 0:
+                break
+            if bin_index == target:
+                continue
+            take = min(int(loads[bin_index]), to_move)
+            loads[bin_index] -= take
+            loads[target] += take
+            to_move -= take
+        return loads
+
+
+_REGISTRY: Dict[str, Type] = {
+    cls.name: cls
+    for cls in (ConcentrateAdversary, PyramidAdversary, ShuffleAdversary, TargetHeaviestAdversary)
+}
+
+
+def available_adversaries() -> List[str]:
+    """Names accepted by :func:`get_adversary`."""
+    return sorted(_REGISTRY)
+
+
+def get_adversary(name_or_instance) -> Adversary:
+    """Resolve an adversary from a name, class, or instance."""
+    if isinstance(name_or_instance, Adversary):
+        return name_or_instance
+    if isinstance(name_or_instance, type) and issubclass(name_or_instance, Adversary):
+        return name_or_instance()
+    if isinstance(name_or_instance, str):
+        key = name_or_instance.lower()
+        if key not in _REGISTRY:
+            raise ConfigurationError(
+                f"unknown adversary {name_or_instance!r}; "
+                f"available: {', '.join(available_adversaries())}"
+            )
+        return _REGISTRY[key]()
+    raise ConfigurationError(f"cannot interpret {name_or_instance!r} as an adversary")

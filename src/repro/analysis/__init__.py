@@ -1,0 +1,70 @@
+"""Analytical toolkit.
+
+Theoretical bound curves (the paper's predictions and its competitors'),
+the Chernoff bounds of Appendix A, the negative-association machinery of
+Appendix B, descriptive statistics for Monte-Carlo trials, and growth-law
+fitting used to decide *which* asymptotic shape the measured data follows.
+"""
+
+from .bounds import (
+    coupon_collector_time,
+    log_bound,
+    loglog_bound,
+    multi_token_cover_bound,
+    sqrt_window_bound,
+    tetris_emptying_bound,
+)
+from .concentration import (
+    binomial_tail_exact,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_bound,
+)
+from .fitting import FitResult, compare_growth_models, fit_log_growth, fit_power_law
+from .negative_association import (
+    empirical_arrival_correlation,
+    is_negatively_associated_pair,
+    negative_association_gap,
+)
+from .occupancy import (
+    OccupancyDistribution,
+    empirical_occupancy,
+    geometric_tail_fit,
+    poisson_occupancy,
+)
+from .statistics import (
+    TrialSummary,
+    bootstrap_confidence_interval,
+    empirical_whp_probability,
+    mean_confidence_interval,
+    summarize_trials,
+)
+
+__all__ = [
+    "log_bound",
+    "loglog_bound",
+    "sqrt_window_bound",
+    "coupon_collector_time",
+    "multi_token_cover_bound",
+    "tetris_emptying_bound",
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "hoeffding_bound",
+    "binomial_tail_exact",
+    "FitResult",
+    "fit_log_growth",
+    "fit_power_law",
+    "compare_growth_models",
+    "is_negatively_associated_pair",
+    "negative_association_gap",
+    "empirical_arrival_correlation",
+    "OccupancyDistribution",
+    "empirical_occupancy",
+    "poisson_occupancy",
+    "geometric_tail_fit",
+    "TrialSummary",
+    "summarize_trials",
+    "mean_confidence_interval",
+    "bootstrap_confidence_interval",
+    "empirical_whp_probability",
+]

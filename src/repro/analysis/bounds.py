@@ -1,0 +1,89 @@
+"""Theoretical bound curves used as comparison lines in the experiments.
+
+These are the asymptotic predictions made by the paper (and by the prior
+work it improves upon), evaluated as concrete functions of ``n`` and ``t``
+so that experiment tables can show "measured vs predicted shape" side by
+side.  Constants are exposed as parameters because the paper only pins down
+growth rates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "log_bound",
+    "loglog_bound",
+    "sqrt_window_bound",
+    "coupon_collector_time",
+    "multi_token_cover_bound",
+    "tetris_emptying_bound",
+    "convergence_time_bound",
+    "empty_bins_lower_bound",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+
+
+def log_bound(n: int, constant: float = 1.0) -> float:
+    """``constant * log n`` — the paper's maximum-load bound (Theorem 1)."""
+    _check_n(n)
+    return constant * max(math.log(n), 1.0)
+
+
+def loglog_bound(n: int, constant: float = 1.0) -> float:
+    """``constant * log n / log log n`` — the one-shot maximum load and the
+    classical lower bound that also applies to the repeated process."""
+    _check_n(n)
+    if n < 4:
+        return constant
+    log_n = math.log(n)
+    return constant * log_n / max(math.log(log_n), 1e-9)
+
+
+def sqrt_window_bound(t: float, constant: float = 1.0) -> float:
+    """``constant * sqrt(t)`` — the earlier bound of [12] on the maximum load
+    after ``t`` rounds (regular graphs / complete graph)."""
+    if t < 0:
+        raise ConfigurationError(f"t must be >= 0, got {t}")
+    return constant * math.sqrt(t)
+
+
+def coupon_collector_time(n: int) -> float:
+    """``n * H_n`` — the expected cover time of a single uniform-jump token."""
+    _check_n(n)
+    return n * sum(1.0 / k for k in range(1, n + 1)) if n <= 10_000 else n * (
+        math.log(n) + 0.5772156649015329
+    )
+
+
+def multi_token_cover_bound(n: int, constant: float = 1.0) -> float:
+    """``constant * n * log^2 n`` — Corollary 1's parallel cover-time bound."""
+    _check_n(n)
+    log_n = max(math.log(n), 1.0)
+    return constant * n * log_n * log_n
+
+
+def tetris_emptying_bound(n: int) -> int:
+    """``5 n`` — Lemma 4's bound on the first emptying time of every bin."""
+    _check_n(n)
+    return 5 * n
+
+
+def convergence_time_bound(n: int, constant: float = 1.0) -> float:
+    """``constant * n`` — Theorem 1's bound on the time to reach a legitimate
+    configuration from an arbitrary one."""
+    _check_n(n)
+    return constant * n
+
+
+def empty_bins_lower_bound(n: int) -> float:
+    """``n / 4`` — Lemma 1/2's lower bound on the number of empty bins that
+    holds in every round after the first, w.h.p."""
+    _check_n(n)
+    return n / 4.0

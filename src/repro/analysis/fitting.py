@@ -1,0 +1,171 @@
+"""Growth-law fitting.
+
+The experiments need to decide *which* asymptotic shape a measured quantity
+follows: is the maximum load growing like ``log n``, like
+``log n / log log n``, like ``sqrt(t)``, or like a power of ``n``?  These
+helpers fit the candidate laws by least squares and report goodness of fit,
+so EXPERIMENTS.md can state "measured exponent 1.02 (paper predicts 1)"
+instead of eyeballing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["FitResult", "fit_power_law", "fit_log_growth", "fit_linear", "compare_growth_models"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a least-squares fit of a growth law.
+
+    Attributes
+    ----------
+    model:
+        Name of the fitted law (``"power"``, ``"log"``, ``"linear"``...).
+    params:
+        Fitted parameters (meaning depends on the model).
+    r_squared:
+        Coefficient of determination on the (possibly transformed) data.
+    residual_norm:
+        Root-mean-square residual in the original scale.
+    """
+
+    model: str
+    params: Dict[str, float]
+    r_squared: float
+    residual_norm: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted law at ``x``."""
+        x = np.asarray(x, dtype=float)
+        if self.model == "power":
+            return self.params["coefficient"] * np.power(x, self.params["exponent"])
+        if self.model == "log":
+            return self.params["coefficient"] * np.log(x) + self.params["intercept"]
+        if self.model == "linear":
+            return self.params["slope"] * x + self.params["intercept"]
+        if self.model == "loglog":
+            logs = np.log(x)
+            return self.params["coefficient"] * logs / np.maximum(np.log(logs), 1e-9) + self.params[
+                "intercept"
+            ]
+        raise ConfigurationError(f"unknown model {self.model!r}")
+
+
+def _validate_xy(x: Sequence[float], y: Sequence[float], positive_x: bool, positive_y: bool):
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ConfigurationError("x and y must be one-dimensional arrays of equal length")
+    if xa.size < 2:
+        raise ConfigurationError("need at least two points to fit")
+    if positive_x and np.any(xa <= 0):
+        raise ConfigurationError("x values must be positive for this model")
+    if positive_y and np.any(ya <= 0):
+        raise ConfigurationError("y values must be positive for this model")
+    return xa, ya
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = c * x^a`` by linear regression in log-log space.
+
+    Used e.g. for the convergence-time experiment, where the paper predicts
+    exponent ``a ~ 1`` (linear in ``n``).
+    """
+    xa, ya = _validate_xy(x, y, positive_x=True, positive_y=True)
+    log_x = np.log(xa)
+    log_y = np.log(ya)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    params = {"exponent": float(slope), "coefficient": float(math.exp(intercept))}
+    predicted = params["coefficient"] * np.power(xa, params["exponent"])
+    return FitResult(
+        model="power",
+        params=params,
+        r_squared=_r_squared(ya, predicted),
+        residual_norm=float(np.sqrt(np.mean((ya - predicted) ** 2))),
+    )
+
+
+def fit_log_growth(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = c * log(x) + b`` — the paper's max-load growth law."""
+    xa, ya = _validate_xy(x, y, positive_x=True, positive_y=False)
+    log_x = np.log(xa)
+    slope, intercept = np.polyfit(log_x, ya, 1)
+    params = {"coefficient": float(slope), "intercept": float(intercept)}
+    predicted = slope * log_x + intercept
+    return FitResult(
+        model="log",
+        params=params,
+        r_squared=_r_squared(ya, predicted),
+        residual_norm=float(np.sqrt(np.mean((ya - predicted) ** 2))),
+    )
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = a * x + b``."""
+    xa, ya = _validate_xy(x, y, positive_x=False, positive_y=False)
+    slope, intercept = np.polyfit(xa, ya, 1)
+    params = {"slope": float(slope), "intercept": float(intercept)}
+    predicted = slope * xa + intercept
+    return FitResult(
+        model="linear",
+        params=params,
+        r_squared=_r_squared(ya, predicted),
+        residual_norm=float(np.sqrt(np.mean((ya - predicted) ** 2))),
+    )
+
+
+def _fit_loglog(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = c * log(x)/log(log(x)) + b`` (the one-shot growth law)."""
+    xa, ya = _validate_xy(x, y, positive_x=True, positive_y=False)
+    if np.any(xa <= math.e):
+        raise ConfigurationError("x values must exceed e for the log/loglog model")
+    feature = np.log(xa) / np.log(np.log(xa))
+    slope, intercept = np.polyfit(feature, ya, 1)
+    params = {"coefficient": float(slope), "intercept": float(intercept)}
+    predicted = slope * feature + intercept
+    return FitResult(
+        model="loglog",
+        params=params,
+        r_squared=_r_squared(ya, predicted),
+        residual_norm=float(np.sqrt(np.mean((ya - predicted) ** 2))),
+    )
+
+
+def compare_growth_models(x: Sequence[float], y: Sequence[float]) -> Dict[str, FitResult]:
+    """Fit every applicable candidate law and return them keyed by model name.
+
+    The caller typically reports the model with the smallest residual norm;
+    candidates whose preconditions fail (e.g. non-positive values for the
+    power law) are silently skipped.
+    """
+    candidates: Dict[str, Callable] = {
+        "power": fit_power_law,
+        "log": fit_log_growth,
+        "linear": fit_linear,
+        "loglog": _fit_loglog,
+    }
+    results: Dict[str, FitResult] = {}
+    for name, fitter in candidates.items():
+        try:
+            results[name] = fitter(x, y)
+        except ConfigurationError:
+            continue
+    if not results:
+        raise ConfigurationError("no growth model could be fitted to the data")
+    return results

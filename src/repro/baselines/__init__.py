@@ -1,0 +1,31 @@
+"""Baseline processes and bounds the paper compares against.
+
+* :mod:`repro.baselines.one_shot` — the classical (single-round)
+  balls-into-bins experiment whose maximum load is
+  ``Theta(log n / log log n)`` w.h.p.; its lower bound applies to the
+  repeated process as well (Section 5).
+* :mod:`repro.baselines.d_choices` — greedy[d] ("power of two choices")
+  allocation, one-shot and repeated, following the generalization discussed
+  among the related works ([36] in the paper).
+* :mod:`repro.baselines.birth_death` — the independent-arrivals
+  birth-death style approximation underlying the earlier ``O(sqrt(t))``
+  bound of [12], used to contrast with the paper's ``O(log n)`` result.
+"""
+
+from .birth_death import IndependentThrowsProcess, sqrt_t_envelope
+from .d_choices import DChoicesProcess, one_shot_d_choices_max_load
+from .one_shot import (
+    one_shot_max_load,
+    one_shot_max_load_trials,
+    theoretical_one_shot_max_load,
+)
+
+__all__ = [
+    "one_shot_max_load",
+    "one_shot_max_load_trials",
+    "theoretical_one_shot_max_load",
+    "DChoicesProcess",
+    "one_shot_d_choices_max_load",
+    "IndependentThrowsProcess",
+    "sqrt_t_envelope",
+]

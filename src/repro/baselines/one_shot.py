@@ -1,0 +1,81 @@
+"""Classical one-shot balls-into-bins.
+
+Throw ``m`` balls independently and uniformly at random into ``n`` bins,
+once.  For ``m = n`` the maximum load is ``Theta(log n / log log n)`` w.h.p.
+(the lower bound the paper cites as applying to the repeated process too).
+This module provides the Monte-Carlo experiment and the standard first-order
+theoretical prediction used as the comparison curve in experiment E10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import as_generator
+from ..types import SeedLike
+
+__all__ = [
+    "one_shot_max_load",
+    "one_shot_max_load_trials",
+    "theoretical_one_shot_max_load",
+    "one_shot_empty_fraction",
+]
+
+
+def one_shot_max_load(n_bins: int, n_balls: Optional[int] = None, seed: SeedLike = None) -> int:
+    """Maximum load after one round of throwing ``m`` balls into ``n`` bins."""
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+    m = n_bins if n_balls is None else int(n_balls)
+    if m < 0:
+        raise ConfigurationError(f"n_balls must be >= 0, got {m}")
+    if m == 0:
+        return 0
+    rng = as_generator(seed)
+    destinations = rng.integers(0, n_bins, size=m)
+    return int(np.bincount(destinations, minlength=n_bins).max())
+
+
+def one_shot_max_load_trials(
+    n_bins: int, trials: int, n_balls: Optional[int] = None, seed: SeedLike = None
+) -> np.ndarray:
+    """Vector of maximum loads over ``trials`` independent one-shot experiments."""
+    if trials < 0:
+        raise ConfigurationError(f"trials must be >= 0, got {trials}")
+    rng = as_generator(seed)
+    out = np.empty(trials, dtype=np.int64)
+    for i in range(trials):
+        out[i] = one_shot_max_load(n_bins, n_balls=n_balls, seed=rng)
+    return out
+
+
+def one_shot_empty_fraction(n_bins: int, n_balls: Optional[int] = None, seed: SeedLike = None) -> float:
+    """Fraction of empty bins after a one-shot throw (≈ ``e^{-m/n}``)."""
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+    m = n_bins if n_balls is None else int(n_balls)
+    rng = as_generator(seed)
+    destinations = rng.integers(0, n_bins, size=m) if m else np.empty(0, dtype=np.int64)
+    loads = np.bincount(destinations, minlength=n_bins)
+    return float(np.count_nonzero(loads == 0) / n_bins)
+
+
+def theoretical_one_shot_max_load(n_bins: int) -> float:
+    """First-order prediction ``ln n / ln ln n`` for the one-shot maximum load
+    with ``m = n`` (Gonnet / Raab–Steger).
+
+    Returns 1.0 for tiny ``n`` where the asymptotic formula is meaningless.
+    """
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+    if n_bins < 4:
+        return 1.0
+    log_n = math.log(n_bins)
+    log_log_n = math.log(log_n)
+    if log_log_n <= 0:
+        return log_n
+    return log_n / log_log_n

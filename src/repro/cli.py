@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` console script.
+
+Sub-commands
+------------
+``list``
+    Show every registered experiment with its claim and default parameters.
+``run EXPERIMENT_ID``
+    Run one experiment and print its result table; optionally write JSON/CSV.
+``describe EXPERIMENT_ID``
+    Show the full spec of one experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    available_experiments,
+    format_table,
+    get_experiment,
+    run_experiment,
+    save_result_csv,
+    save_result_json,
+)
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Self-stabilizing repeated balls-into-bins' "
+            "(Becchetti et al.)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    describe = sub.add_parser("describe", help="show one experiment's spec")
+    describe.add_argument("experiment_id", help="experiment id, e.g. E1")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", help="experiment id, e.g. E1")
+    run.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    run.add_argument(
+        "--param",
+        "-p",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a default parameter (VALUE is parsed as JSON, e.g. -p sizes='[64,128]')",
+    )
+    run.add_argument("--json", dest="json_path", default=None, help="write the result as JSON")
+    run.add_argument("--csv", dest="csv_path", default=None, help="write the rows as CSV")
+    run.add_argument(
+        "--markdown", action="store_true", help="print a markdown table instead of plain text"
+    )
+
+    report = sub.add_parser(
+        "report", help="run a set of experiments and write a markdown report (EXPERIMENTS.md style)"
+    )
+    report.add_argument("--out", default="EXPERIMENTS.md", help="output path (default EXPERIMENTS.md)")
+    report.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    report.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        metavar="ID",
+        help="restrict to a subset of experiment ids (default: all)",
+    )
+    return parser
+
+
+def _parse_overrides(pairs: List[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"parameter override {pair!r} must look like KEY=VALUE")
+        key, raw = pair.split("=", 1)
+        key = key.strip()
+        raw = raw.strip()
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw  # fall back to the raw string (e.g. adversary=concentrate)
+        overrides[key] = value
+    return overrides
+
+
+def _cmd_list() -> int:
+    rows = [
+        {
+            "id": spec.experiment_id,
+            "claim": spec.claim,
+            "title": spec.title,
+        }
+        for spec in available_experiments()
+    ]
+    print(format_table(rows, columns=["id", "claim", "title"]))
+    return 0
+
+
+def _cmd_describe(experiment_id: str) -> int:
+    spec = get_experiment(experiment_id)
+    print(f"{spec.experiment_id}: {spec.title}")
+    print(f"  claim          : {spec.claim}")
+    print(f"  expected shape : {spec.expected_shape}")
+    print("  default params :")
+    for key, value in spec.default_params.items():
+        print(f"    {key} = {value!r}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    overrides = _parse_overrides(args.param)
+    result = run_experiment(args.experiment_id, params=overrides or None, seed=args.seed)
+    style = "markdown" if args.markdown else "text"
+    title = f"{result.spec.experiment_id}: {result.spec.title} ({result.spec.claim})"
+    print(format_table(result.rows, style=style, title=title))
+    for note in result.notes:
+        print(f"note: {note}")
+    if args.json_path:
+        path = save_result_json(result, args.json_path)
+        print(f"wrote {path}")
+    if args.csv_path:
+        path = save_result_csv(result, args.csv_path)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .experiments.report import generate_full_report
+
+    report = generate_full_report(experiment_ids=args.only, seed=args.seed)
+    Path(args.out).write_text(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "describe":
+            return _cmd_describe(args.experiment_id)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - argparse exits before reaching this
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Core processes of the paper.
+
+This package implements the repeated balls-into-bins process (the paper's
+subject), the auxiliary Tetris process used in its analysis, the coupling
+between the two (Lemma 3), the identity-tracking token-level variant used
+for traversal/cover-time experiments (Section 4), and the metric/observer
+machinery shared by all of them.
+"""
+
+from .config import LoadConfiguration, legitimacy_threshold
+from .coupling import CoupledRun, CouplingResult
+from .metrics import (
+    EmptyBinsTracker,
+    LegitimacyTracker,
+    LoadHistogramTracker,
+    MaxLoadTracker,
+    TraceRecorder,
+)
+from .observers import ObserverList, CallbackObserver
+from .process import RepeatedBallsIntoBins, SimulationResult
+from .queueing import (
+    FIFODiscipline,
+    LIFODiscipline,
+    QueueDiscipline,
+    RandomDiscipline,
+    SmallestIDDiscipline,
+    get_discipline,
+)
+from .tetris import ProbabilisticTetris, TetrisProcess
+from .token_process import TokenProcessResult, TokenRepeatedBallsIntoBins
+
+__all__ = [
+    "LoadConfiguration",
+    "legitimacy_threshold",
+    "RepeatedBallsIntoBins",
+    "SimulationResult",
+    "TetrisProcess",
+    "ProbabilisticTetris",
+    "CoupledRun",
+    "CouplingResult",
+    "TokenRepeatedBallsIntoBins",
+    "TokenProcessResult",
+    "QueueDiscipline",
+    "FIFODiscipline",
+    "LIFODiscipline",
+    "RandomDiscipline",
+    "SmallestIDDiscipline",
+    "get_discipline",
+    "MaxLoadTracker",
+    "EmptyBinsTracker",
+    "LegitimacyTracker",
+    "LoadHistogramTracker",
+    "TraceRecorder",
+    "ObserverList",
+    "CallbackObserver",
+]

@@ -1,0 +1,222 @@
+"""Round-by-round coupling of the original process with Tetris (Lemma 3).
+
+The coupling works as follows.  Both processes start from the same
+configuration ``q`` (which must have at least ``n/4`` empty bins for the
+lemma's guarantee to apply).  In every round:
+
+* Case (i) — the original process has ``h <= (3/4) n`` non-empty bins:
+  every ball re-assigned by the original process drags one of the Tetris
+  process' ``(3/4) n`` fresh balls to the *same* destination bin; the
+  remaining ``(3/4) n - h`` fresh balls are thrown independently and
+  uniformly at random.
+* Case (ii) — ``h > (3/4) n``: the Tetris round is run independently.
+
+As long as case (ii) never occurs, Tetris *dominates* the original process
+bin-wise (every Tetris bin holds at least as many balls as the corresponding
+original bin), hence the maximum load of the original process is bounded by
+the Tetris maximum load.  Lemma 2 shows case (ii) only occurs with
+exponentially small probability over any polynomial window, which is exactly
+what :class:`CouplingResult` lets an experiment verify empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .config import LoadConfiguration
+from ..errors import ConfigurationError
+from ..rng import as_generator
+from ..types import LoadVector, SeedLike
+
+__all__ = ["CoupledRun", "CouplingResult"]
+
+
+@dataclass
+class CouplingResult:
+    """Outcome of a coupled simulation.
+
+    Attributes
+    ----------
+    rounds:
+        Number of coupled rounds simulated.
+    original_max_load:
+        Window maximum load of the original process.
+    tetris_max_load:
+        Window maximum load of the Tetris process.
+    domination_held:
+        ``True`` when in *every* round every Tetris bin held at least as many
+        balls as the corresponding original bin.
+    first_domination_failure:
+        Round index of the first bin-wise domination violation, or ``None``.
+    case_ii_rounds:
+        Rounds in which the coupling had to fall back to the independent
+        case (more than ``(3/4) n`` non-empty bins in the original process).
+    min_empty_bins:
+        Smallest empty-bin count observed in the original process.
+    """
+
+    rounds: int
+    original_max_load: int
+    tetris_max_load: int
+    domination_held: bool
+    first_domination_failure: Optional[int]
+    case_ii_rounds: List[int] = field(default_factory=list)
+    min_empty_bins: int = 0
+
+    @property
+    def max_load_dominated(self) -> bool:
+        """Whether the window-maximum loads satisfy the Lemma 3 ordering."""
+        return self.original_max_load <= self.tetris_max_load
+
+
+class CoupledRun:
+    """Simulate the original and Tetris processes under the Lemma 3 coupling.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins ``n`` (both processes use the same ``n``).
+    initial:
+        Common starting configuration.  Lemma 3 requires at least ``n/4``
+        empty bins; by default a configuration violating that precondition
+        is rejected, pass ``enforce_precondition=False`` to explore what
+        happens outside the lemma's hypothesis.
+    seed:
+        Seed-like value; both processes share a single generator, which is
+        what makes the construction a coupling.
+    arrivals_per_round:
+        Fresh Tetris balls per round, default ``floor(3n/4)``.
+    enforce_precondition:
+        Whether to raise when the initial configuration has fewer than
+        ``n/4`` empty bins.
+    """
+
+    def __init__(
+        self,
+        n_bins: int,
+        initial: Union[LoadConfiguration, np.ndarray, None] = None,
+        seed: SeedLike = None,
+        arrivals_per_round: Optional[int] = None,
+        enforce_precondition: bool = True,
+    ) -> None:
+        if n_bins < 1:
+            raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+        if initial is None:
+            config = LoadConfiguration.random_uniform(n_bins, seed=as_generator(seed).integers(2**31))
+        else:
+            config = initial if isinstance(initial, LoadConfiguration) else LoadConfiguration(np.asarray(initial))
+        if config.n_bins != n_bins:
+            raise ConfigurationError(
+                f"initial configuration has {config.n_bins} bins, expected {n_bins}"
+            )
+        if enforce_precondition and config.num_empty_bins * 4 < n_bins:
+            raise ConfigurationError(
+                "Lemma 3 coupling requires an initial configuration with at least n/4 empty "
+                f"bins; got {config.num_empty_bins} empty bins out of {n_bins} "
+                "(pass enforce_precondition=False to override)"
+            )
+        self._n_bins = n_bins
+        self._arrivals = (3 * n_bins) // 4 if arrivals_per_round is None else int(arrivals_per_round)
+        if self._arrivals < 0:
+            raise ConfigurationError(f"arrivals_per_round must be >= 0, got {self._arrivals}")
+        self._original = config.as_array()
+        self._tetris = config.as_array()
+        self._rng = as_generator(seed)
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_bins(self) -> int:
+        return self._n_bins
+
+    @property
+    def round_index(self) -> int:
+        return self._round
+
+    @property
+    def original_loads(self) -> LoadVector:
+        view = self._original.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def tetris_loads(self) -> LoadVector:
+        view = self._tetris.view()
+        view.setflags(write=False)
+        return view
+
+    def dominates(self) -> bool:
+        """Whether the Tetris loads currently dominate the original loads bin-wise."""
+        return bool(np.all(self._tetris >= self._original))
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Advance both processes one coupled round.
+
+        Returns ``True`` when case (i) of the coupling applied (shared
+        destinations) and ``False`` when case (ii) (independent Tetris round)
+        had to be used.
+        """
+        n = self._n_bins
+        rng = self._rng
+
+        # --- original process round -----------------------------------
+        nonempty = self._original > 0
+        h = int(np.count_nonzero(nonempty))
+        self._original -= nonempty
+        original_destinations = rng.integers(0, n, size=h) if h else np.empty(0, dtype=np.int64)
+        if h:
+            self._original += np.bincount(original_destinations, minlength=n)
+
+        # --- Tetris round, coupled or independent ----------------------
+        tetris_nonempty = self._tetris > 0
+        self._tetris -= tetris_nonempty
+        coupled = h <= self._arrivals
+        if coupled:
+            extra = self._arrivals - h
+            if extra:
+                independent = rng.integers(0, n, size=extra)
+                destinations = np.concatenate([original_destinations, independent])
+            else:
+                destinations = original_destinations
+        else:
+            destinations = rng.integers(0, n, size=self._arrivals)
+        if destinations.size:
+            self._tetris += np.bincount(destinations, minlength=n)
+
+        self._round += 1
+        return coupled
+
+    def run(self, rounds: int) -> CouplingResult:
+        """Run ``rounds`` coupled rounds and record domination diagnostics."""
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        original_max = int(self._original.max())
+        tetris_max = int(self._tetris.max())
+        min_empty = int(np.count_nonzero(self._original == 0))
+        domination_held = self.dominates()
+        first_failure: Optional[int] = None if domination_held else 0
+        case_ii: List[int] = []
+
+        for _ in range(rounds):
+            coupled = self.step()
+            if not coupled:
+                case_ii.append(self._round)
+            original_max = max(original_max, int(self._original.max()))
+            tetris_max = max(tetris_max, int(self._tetris.max()))
+            min_empty = min(min_empty, int(np.count_nonzero(self._original == 0)))
+            if first_failure is None and not self.dominates():
+                first_failure = self._round
+
+        return CouplingResult(
+            rounds=rounds,
+            original_max_load=original_max,
+            tetris_max_load=tetris_max,
+            domination_held=first_failure is None,
+            first_domination_failure=first_failure,
+            case_ii_rounds=case_ii,
+            min_empty_bins=min_empty,
+        )

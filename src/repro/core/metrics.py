@@ -1,0 +1,252 @@
+"""Per-round metric collectors for balls-into-bins simulations.
+
+Each tracker implements the :class:`repro.types.Observer` protocol and keeps
+only what it needs (scalars or compact arrays), so attaching several of them
+to a million-round simulation does not blow up memory.
+
+The trackers correspond to the quantities the paper reasons about:
+
+* :class:`MaxLoadTracker` — the maximum load ``M(t)`` and its running
+  maximum over the observation window (Theorem 1, Lemma 6).
+* :class:`EmptyBinsTracker` — the number of empty bins per round
+  (Lemmas 1–2: at least ``n/4`` empty bins w.h.p. after round 1).
+* :class:`LegitimacyTracker` — first hitting time of a legitimate
+  configuration and whether the process ever left legitimacy afterwards
+  (convergence + stability halves of Theorem 1).
+* :class:`LoadHistogramTracker` — the time-aggregated distribution of loads.
+* :class:`TraceRecorder` — full per-round load snapshots (small runs only).
+* :class:`BinEmptyingTracker` — per-bin first time the bin becomes empty
+  (Lemma 4 for Tetris; also used for the self-stabilization argument).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from .config import DEFAULT_BETA, legitimacy_threshold
+from ..types import LoadVector
+
+__all__ = [
+    "MaxLoadTracker",
+    "EmptyBinsTracker",
+    "LegitimacyTracker",
+    "LoadHistogramTracker",
+    "TraceRecorder",
+    "BinEmptyingTracker",
+]
+
+
+class MaxLoadTracker:
+    """Track ``M(t)`` per round plus the running window maximum."""
+
+    def __init__(self, record_series: bool = True) -> None:
+        self.record_series = record_series
+        self.series: List[int] = []
+        self.window_max: int = 0
+        self.rounds_observed: int = 0
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        value = int(loads.max())
+        if self.record_series:
+            self.series.append(value)
+        if value > self.window_max:
+            self.window_max = value
+        self.rounds_observed += 1
+
+    @property
+    def final(self) -> Optional[int]:
+        """Max load at the last observed round (``None`` before any round)."""
+        if self.rounds_observed == 0:
+            return None
+        if self.record_series:
+            return self.series[-1]
+        return self.window_max  # best available when the series is not kept
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.series, dtype=np.int64)
+
+
+class EmptyBinsTracker:
+    """Track the number of empty bins per round and the window minimum."""
+
+    def __init__(self, record_series: bool = True) -> None:
+        self.record_series = record_series
+        self.series: List[int] = []
+        self.window_min: Optional[int] = None
+        self.rounds_observed: int = 0
+        self._n_bins: Optional[int] = None
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        value = int(np.count_nonzero(loads == 0))
+        if self._n_bins is None:
+            self._n_bins = int(loads.size)
+        if self.record_series:
+            self.series.append(value)
+        if self.window_min is None or value < self.window_min:
+            self.window_min = value
+        self.rounds_observed += 1
+
+    @property
+    def min_fraction(self) -> Optional[float]:
+        """Smallest empty-bin fraction seen so far."""
+        if self.window_min is None or not self._n_bins:
+            return None
+        return self.window_min / self._n_bins
+
+    def always_at_least(self, threshold_fraction: float = 0.25) -> bool:
+        """Whether every observed round had at least ``threshold_fraction``
+        of the bins empty (the Lemma 2 event)."""
+        frac = self.min_fraction
+        return frac is not None and frac >= threshold_fraction
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.series, dtype=np.int64)
+
+
+class LegitimacyTracker:
+    """Track legitimacy hitting/holding times for Theorem 1.
+
+    Attributes
+    ----------
+    first_legitimate_round:
+        First observed round whose configuration is legitimate (``None`` if
+        never observed).
+    first_violation_after_hit:
+        First observed round *after* the first legitimate round whose
+        configuration is not legitimate (``None`` if legitimacy held for the
+        remainder of the run).
+    violations:
+        Total number of observed illegitimate rounds.
+    """
+
+    def __init__(self, beta: float = DEFAULT_BETA) -> None:
+        self.beta = beta
+        self.first_legitimate_round: Optional[int] = None
+        self.first_violation_after_hit: Optional[int] = None
+        self.violations: int = 0
+        self.rounds_observed: int = 0
+        self._threshold: Optional[float] = None
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        if self._threshold is None:
+            self._threshold = legitimacy_threshold(int(loads.size), self.beta)
+        legit = int(loads.max()) <= self._threshold
+        if legit:
+            if self.first_legitimate_round is None:
+                self.first_legitimate_round = round_index
+        else:
+            self.violations += 1
+            if (
+                self.first_legitimate_round is not None
+                and self.first_violation_after_hit is None
+            ):
+                self.first_violation_after_hit = round_index
+        self.rounds_observed += 1
+
+    @property
+    def converged(self) -> bool:
+        return self.first_legitimate_round is not None
+
+    @property
+    def stable_after_convergence(self) -> bool:
+        """True when the run reached legitimacy and never left it afterwards."""
+        return self.converged and self.first_violation_after_hit is None
+
+
+class LoadHistogramTracker:
+    """Aggregate the distribution of per-bin loads over all observed rounds.
+
+    ``counts[k]`` is the number of (round, bin) pairs with load exactly
+    ``k``.  Normalizing by ``rounds * n`` yields the empirical occupancy
+    distribution, which is what the Tetris comparison and the m-balls
+    experiments report.
+    """
+
+    def __init__(self, max_tracked_load: int = 256) -> None:
+        self.max_tracked_load = max_tracked_load
+        self.counts = np.zeros(max_tracked_load + 1, dtype=np.int64)
+        self.overflow = 0
+        self.rounds_observed = 0
+        self._n_bins: Optional[int] = None
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        if self._n_bins is None:
+            self._n_bins = int(loads.size)
+        clipped = np.minimum(loads, self.max_tracked_load)
+        self.overflow += int(np.count_nonzero(loads > self.max_tracked_load))
+        self.counts += np.bincount(clipped, minlength=self.max_tracked_load + 1)
+        self.rounds_observed += 1
+
+    def distribution(self) -> np.ndarray:
+        """Return the normalized occupancy distribution (sums to 1)."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / total
+
+    def mean_load(self) -> float:
+        dist = self.distribution()
+        return float(np.dot(np.arange(dist.size), dist))
+
+
+class TraceRecorder:
+    """Record a full copy of the load vector every ``stride`` rounds.
+
+    Only suitable for small runs (memory is ``O(rounds/stride * n)``); the
+    examples and a handful of tests use it, the benchmarks do not.
+    """
+
+    def __init__(self, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stride = stride
+        self.rounds: List[int] = []
+        self.snapshots: List[np.ndarray] = []
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        if round_index % self.stride == 0:
+            self.rounds.append(round_index)
+            self.snapshots.append(np.array(loads, dtype=np.int64, copy=True))
+
+    def as_matrix(self) -> np.ndarray:
+        """Return snapshots stacked as a ``(num_snapshots, n)`` matrix."""
+        if not self.snapshots:
+            return np.zeros((0, 0), dtype=np.int64)
+        return np.stack(self.snapshots)
+
+
+class BinEmptyingTracker:
+    """Record, for every bin, the first observed round at which it was empty.
+
+    Lemma 4 states that in the Tetris process every bin empties at least
+    once within ``5n`` rounds from any start; this tracker measures the
+    corresponding empirical quantity (for both Tetris and the original
+    process, where it feeds the self-stabilization argument).
+    """
+
+    def __init__(self) -> None:
+        self.first_empty_round: Optional[np.ndarray] = None
+        self.rounds_observed = 0
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        if self.first_empty_round is None:
+            self.first_empty_round = np.full(loads.size, -1, dtype=np.int64)
+        unset = self.first_empty_round < 0
+        newly_empty = unset & (loads == 0)
+        self.first_empty_round[newly_empty] = round_index
+        self.rounds_observed += 1
+
+    @property
+    def all_emptied(self) -> bool:
+        return self.first_empty_round is not None and bool(np.all(self.first_empty_round >= 0))
+
+    @property
+    def last_first_empty(self) -> Optional[int]:
+        """The round by which *every* bin has been empty at least once
+        (``None`` if some bin never emptied during the run)."""
+        if not self.all_emptied:
+            return None
+        return int(self.first_empty_round.max())

@@ -1,0 +1,75 @@
+"""Observer plumbing shared by every simulator.
+
+Simulators call ``observer.observe(t, loads)`` once per round with their
+*internal* load buffer; observers must treat the array as read-only.  The
+:class:`ObserverList` helper fans a single call out to many observers and is
+what the simulators actually hold, so the hot loop pays one attribute lookup
+regardless of how many metrics are attached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+import numpy as np
+
+from ..types import LoadVector, Observer
+
+__all__ = ["ObserverList", "CallbackObserver"]
+
+
+class CallbackObserver:
+    """Adapt a bare callable ``f(round_index, loads)`` to the observer protocol."""
+
+    def __init__(self, callback: Callable[[int, LoadVector], None]) -> None:
+        self._callback = callback
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        self._callback(round_index, loads)
+
+
+class ObserverList:
+    """A composite observer that forwards to an ordered list of observers."""
+
+    def __init__(self, observers: Iterable[Observer] = ()) -> None:
+        self._observers: List[Observer] = []
+        for obs in observers:
+            self.add(obs)
+
+    def add(self, observer) -> None:
+        """Attach *observer*; bare callables are wrapped automatically."""
+        if hasattr(observer, "observe"):
+            self._observers.append(observer)
+        elif callable(observer):
+            self._observers.append(CallbackObserver(observer))
+        else:
+            raise TypeError(
+                f"observer must implement .observe(t, loads) or be callable, got {observer!r}"
+            )
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        for obs in self._observers:
+            obs.observe(round_index, loads)
+
+    def __len__(self) -> int:
+        return len(self._observers)
+
+    def __iter__(self):
+        return iter(self._observers)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._observers
+
+    @staticmethod
+    def coerce(observers) -> "ObserverList":
+        """Normalize ``None`` / a single observer / a sequence into a list."""
+        if observers is None:
+            return ObserverList()
+        if isinstance(observers, ObserverList):
+            return observers
+        if hasattr(observers, "observe") or callable(observers):
+            return ObserverList([observers])
+        if isinstance(observers, Sequence) or isinstance(observers, Iterable):
+            return ObserverList(observers)
+        raise TypeError(f"cannot interpret {observers!r} as observers")

@@ -1,0 +1,130 @@
+"""Queueing disciplines for the identity-tracking process.
+
+Theorem 1 is oblivious to the strategy used to pick which ball leaves a
+non-empty bin, but the *cover-time* corollary (Section 4) is stated for the
+FIFO discipline (under FIFO no ball waits longer than the load it found on
+arrival).  The token-level simulator therefore takes a pluggable
+:class:`QueueDiscipline`; the ablation A1 compares them.
+
+A discipline sees the bin's queue as an ordered list of ball identifiers
+(position 0 is the oldest resident) and returns the *position* of the ball
+to extract this round.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Type
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "QueueDiscipline",
+    "FIFODiscipline",
+    "LIFODiscipline",
+    "RandomDiscipline",
+    "SmallestIDDiscipline",
+    "get_discipline",
+    "available_disciplines",
+]
+
+
+class QueueDiscipline(ABC):
+    """Strategy that selects which queued ball leaves a non-empty bin."""
+
+    #: Registry key used by :func:`get_discipline`.
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, queue: Sequence[int], rng: np.random.Generator) -> int:
+        """Return the index (position in *queue*) of the ball to extract.
+
+        *queue* is guaranteed non-empty.  Implementations must not mutate it.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class FIFODiscipline(QueueDiscipline):
+    """First-in first-out: extract the oldest resident (position 0)."""
+
+    name = "fifo"
+
+    def select(self, queue: Sequence[int], rng: np.random.Generator) -> int:
+        return 0
+
+
+class LIFODiscipline(QueueDiscipline):
+    """Last-in first-out: extract the newest resident."""
+
+    name = "lifo"
+
+    def select(self, queue: Sequence[int], rng: np.random.Generator) -> int:
+        return len(queue) - 1
+
+
+class RandomDiscipline(QueueDiscipline):
+    """Extract a ball chosen uniformly at random from the queue."""
+
+    name = "random"
+
+    def select(self, queue: Sequence[int], rng: np.random.Generator) -> int:
+        length = len(queue)
+        if length == 1:
+            return 0
+        return int(rng.integers(0, length))
+
+
+class SmallestIDDiscipline(QueueDiscipline):
+    """Extract the ball with the smallest identifier.
+
+    A deterministic, identity-dependent discipline; it is intentionally
+    "unfair" (low-id balls make progress at the expense of high-id balls)
+    and serves as a stress case for the discipline-obliviousness claim about
+    the *load* (the load statistics must match FIFO even though per-ball
+    progress does not).
+    """
+
+    name = "smallest_id"
+
+    def select(self, queue: Sequence[int], rng: np.random.Generator) -> int:
+        best_pos = 0
+        best_id = queue[0]
+        for pos in range(1, len(queue)):
+            if queue[pos] < best_id:
+                best_id = queue[pos]
+                best_pos = pos
+        return best_pos
+
+
+_REGISTRY: Dict[str, Type[QueueDiscipline]] = {
+    cls.name: cls
+    for cls in (FIFODiscipline, LIFODiscipline, RandomDiscipline, SmallestIDDiscipline)
+}
+
+
+def available_disciplines() -> List[str]:
+    """Names accepted by :func:`get_discipline`."""
+    return sorted(_REGISTRY)
+
+
+def get_discipline(name_or_instance) -> QueueDiscipline:
+    """Resolve a discipline from a name, class, or instance."""
+    if isinstance(name_or_instance, QueueDiscipline):
+        return name_or_instance
+    if isinstance(name_or_instance, type) and issubclass(name_or_instance, QueueDiscipline):
+        return name_or_instance()
+    if isinstance(name_or_instance, str):
+        key = name_or_instance.lower()
+        if key not in _REGISTRY:
+            raise ConfigurationError(
+                f"unknown queue discipline {name_or_instance!r}; "
+                f"available: {', '.join(available_disciplines())}"
+            )
+        return _REGISTRY[key]()
+    raise ConfigurationError(
+        f"cannot interpret {name_or_instance!r} as a queue discipline"
+    )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` from NumPy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "CouplingError",
+    "GraphError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid load configuration or process parameter was supplied.
+
+    Raised, for example, when a load vector contains negative entries, when
+    the number of balls is inconsistent with an explicit initial
+    configuration, or when a legitimacy constant ``beta`` is non-positive.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation was driven into an inconsistent state.
+
+    This signals an internal invariant violation (e.g. ball-count
+    non-conservation) rather than bad user input; it should never trigger in
+    normal operation and exists mostly to make property tests loud.
+    """
+
+
+class CouplingError(ReproError):
+    """The coupled pair of processes violated a coupling precondition."""
+
+
+class GraphError(ReproError):
+    """An invalid graph topology was supplied (empty, disconnected, ...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment spec is malformed or references an unknown experiment."""

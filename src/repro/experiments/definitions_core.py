@@ -1,0 +1,347 @@
+"""Experiments E1–E7: the load-level claims (Theorem 1, Lemmas 1–6).
+
+Every function in this module has the registry runner signature
+``runner(spec, params, seed) -> ExperimentResult``.  Trial helpers that are
+dispatched through the parallel runner are module-level so they can be
+pickled into worker processes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+import numpy as np
+
+from .spec import ExperimentResult, ExperimentSpec
+from ..analysis.bounds import empty_bins_lower_bound, tetris_emptying_bound
+from ..analysis.fitting import fit_log_growth, fit_power_law
+from ..analysis.statistics import empirical_whp_probability, summarize_trials
+from ..core.config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
+from ..core.coupling import CoupledRun
+from ..core.process import RepeatedBallsIntoBins
+from ..core.tetris import TetrisProcess
+from ..markov.absorbing import BinLoadChain, absorption_tail_bound
+from ..parallel.runner import run_trials
+from ..rng import as_generator
+
+__all__ = [
+    "run_e1_stability",
+    "run_e2_convergence",
+    "run_e3_empty_bins",
+    "run_e4_coupling",
+    "run_e5_tetris_emptying",
+    "run_e6_absorption",
+    "run_e7_tetris_load",
+]
+
+
+# ----------------------------------------------------------------------
+# E1 — stability: max load O(log n) over a long window from a legitimate start
+# ----------------------------------------------------------------------
+def _e1_trial(trial_index: int, seed, n: int, rounds: int) -> Dict[str, Any]:
+    """One E1 trial: window max load over ``rounds`` rounds from a legitimate start."""
+    rng = as_generator(seed)
+    initial = LoadConfiguration.random_uniform(n, seed=rng)
+    process = RepeatedBallsIntoBins(n, initial=initial, seed=rng)
+    result = process.run(rounds)
+    return {
+        "window_max_load": result.max_load_seen,
+        "final_max_load": result.final_configuration.max_load,
+        "stayed_legitimate": float(result.max_load_seen <= legitimacy_threshold(n, DEFAULT_BETA)),
+    }
+
+
+def run_e1_stability(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
+    result = ExperimentResult(spec=spec, params=params)
+    sizes = params["sizes"]
+    trials = params["trials"]
+    rounds_factor = params["rounds_factor"]
+    n_workers = params["n_workers"]
+
+    window_maxima = []
+    for n in sizes:
+        rounds = int(rounds_factor * n)
+        records = run_trials(
+            _e1_trial, trials, seed=seed, n_workers=n_workers, n=n, rounds=rounds
+        )
+        maxima = np.asarray([r["window_max_load"] for r in records], dtype=float)
+        stayed = sum(int(r["stayed_legitimate"]) for r in records)
+        summary = summarize_trials(maxima)
+        p_hat, p_low, _ = empirical_whp_probability(stayed, trials)
+        window_maxima.append(summary.mean)
+        result.add_row(
+            n=n,
+            rounds=rounds,
+            trials=trials,
+            mean_window_max=summary.mean,
+            max_window_max=summary.maximum,
+            window_max_over_log_n=summary.mean / max(math.log(n), 1.0),
+            legitimate_fraction=p_hat,
+            legitimate_fraction_ci_low=p_low,
+        )
+
+    if len(sizes) >= 3:
+        fit = fit_log_growth(sizes, window_maxima)
+        result.add_note(
+            f"window max load ~ {fit.params['coefficient']:.2f} * log n + "
+            f"{fit.params['intercept']:.2f} (R^2 = {fit.r_squared:.3f}); "
+            "Theorem 1 predicts Theta(log n)."
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E2 — convergence: legitimate configuration within O(n) rounds from any start
+# ----------------------------------------------------------------------
+def _e2_trial(trial_index: int, seed, n: int, max_rounds: int) -> Dict[str, Any]:
+    rng = as_generator(seed)
+    process = RepeatedBallsIntoBins(n, initial=LoadConfiguration.all_in_one(n), seed=rng)
+    hit = process.run_until_legitimate(max_rounds)
+    return {"convergence_round": -1 if hit is None else hit}
+
+
+def run_e2_convergence(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
+    result = ExperimentResult(spec=spec, params=params)
+    sizes = params["sizes"]
+    trials = params["trials"]
+    budget_factor = params["budget_factor"]
+    n_workers = params["n_workers"]
+
+    mean_times = []
+    for n in sizes:
+        max_rounds = int(budget_factor * n)
+        records = run_trials(
+            _e2_trial, trials, seed=seed, n_workers=n_workers, n=n, max_rounds=max_rounds
+        )
+        times = np.asarray([r["convergence_round"] for r in records], dtype=float)
+        converged = int(np.count_nonzero(times >= 0))
+        usable = times[times >= 0]
+        summary = summarize_trials(usable) if usable.size else None
+        mean_time = summary.mean if summary else float("nan")
+        mean_times.append(mean_time)
+        result.add_row(
+            n=n,
+            trials=trials,
+            converged_fraction=converged / trials,
+            mean_convergence_rounds=mean_time,
+            max_convergence_rounds=summary.maximum if summary else None,
+            convergence_over_n=mean_time / n if summary else None,
+        )
+
+    finite = [(n, t) for n, t in zip(sizes, mean_times) if np.isfinite(t)]
+    if len(finite) >= 3:
+        xs, ys = zip(*finite)
+        fit = fit_power_law(xs, ys)
+        result.add_note(
+            f"convergence time ~ n^{fit.params['exponent']:.2f} "
+            f"(R^2 = {fit.r_squared:.3f}); Theorem 1 predicts exponent 1 (linear in n)."
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E3 — empty bins: at least n/4 bins empty in every round after the first
+# ----------------------------------------------------------------------
+def run_e3_empty_bins(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
+    result = ExperimentResult(spec=spec, params=params)
+    sizes = params["sizes"]
+    trials = params["trials"]
+    rounds_factor = params["rounds_factor"]
+    rng = as_generator(seed)
+
+    starts = {
+        "balanced": lambda n: LoadConfiguration.balanced(n),
+        "all_in_one": lambda n: LoadConfiguration.all_in_one(n),
+    }
+    for n in sizes:
+        rounds = max(int(rounds_factor * n), 2)
+        for start_name, make_start in starts.items():
+            min_fractions = []
+            successes = 0
+            for _ in range(trials):
+                process = RepeatedBallsIntoBins(n, initial=make_start(n), seed=rng)
+                process.step()  # Lemma 2 only claims the bound after the first round
+                min_empty = n
+                for _ in range(rounds - 1):
+                    loads = process.step()
+                    empties = int(np.count_nonzero(loads == 0))
+                    if empties < min_empty:
+                        min_empty = empties
+                min_fractions.append(min_empty / n)
+                if min_empty >= empty_bins_lower_bound(n):
+                    successes += 1
+            summary = summarize_trials(min_fractions)
+            p_hat, p_low, _ = empirical_whp_probability(successes, trials)
+            result.add_row(
+                n=n,
+                start=start_name,
+                rounds=rounds,
+                trials=trials,
+                mean_min_empty_fraction=summary.mean,
+                worst_min_empty_fraction=summary.minimum,
+                frac_trials_above_quarter=p_hat,
+                frac_trials_above_quarter_ci_low=p_low,
+            )
+    result.add_note(
+        "Lemma 2 predicts the empty-bin fraction stays >= 0.25 after round 1 w.h.p.; "
+        "the worst observed fraction per row should sit above 0.25."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E4 — coupling: Tetris dominates the original process
+# ----------------------------------------------------------------------
+def run_e4_coupling(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
+    result = ExperimentResult(spec=spec, params=params)
+    sizes = params["sizes"]
+    trials = params["trials"]
+    rounds_factor = params["rounds_factor"]
+    rng = as_generator(seed)
+
+    for n in sizes:
+        rounds = max(int(rounds_factor * n), 1)
+        dominated = 0
+        maxload_dominated = 0
+        case_ii_total = 0
+        original_maxima = []
+        tetris_maxima = []
+        for _ in range(trials):
+            initial = LoadConfiguration.random_uniform(n, seed=rng)
+            coupled = CoupledRun(n, initial=initial, seed=rng, enforce_precondition=False)
+            outcome = coupled.run(rounds)
+            dominated += int(outcome.domination_held)
+            maxload_dominated += int(outcome.max_load_dominated)
+            case_ii_total += len(outcome.case_ii_rounds)
+            original_maxima.append(outcome.original_max_load)
+            tetris_maxima.append(outcome.tetris_max_load)
+        result.add_row(
+            n=n,
+            rounds=rounds,
+            trials=trials,
+            binwise_domination_fraction=dominated / trials,
+            maxload_domination_fraction=maxload_dominated / trials,
+            mean_original_max=float(np.mean(original_maxima)),
+            mean_tetris_max=float(np.mean(tetris_maxima)),
+            case_ii_rounds_total=case_ii_total,
+        )
+    result.add_note(
+        "Lemma 3 predicts bin-wise domination whenever the >= n/4 empty-bin event holds; "
+        "case-(ii) rounds (independent fallback) should be rare or absent."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E5 — Tetris emptying: every bin empties within 5n rounds from any start
+# ----------------------------------------------------------------------
+def run_e5_tetris_emptying(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
+    result = ExperimentResult(spec=spec, params=params)
+    sizes = params["sizes"]
+    trials = params["trials"]
+    rng = as_generator(seed)
+
+    for n in sizes:
+        bound = tetris_emptying_bound(n)
+        emptied_by = []
+        within_bound = 0
+        for _ in range(trials):
+            tetris = TetrisProcess(n, initial=LoadConfiguration.all_in_one(n), seed=rng)
+            outcome = tetris.run(bound)
+            if outcome.all_bins_emptied_by is not None:
+                emptied_by.append(outcome.all_bins_emptied_by)
+                within_bound += 1
+        summary = summarize_trials(emptied_by) if emptied_by else None
+        result.add_row(
+            n=n,
+            trials=trials,
+            bound_5n=bound,
+            within_bound_fraction=within_bound / trials,
+            mean_all_emptied_by=summary.mean if summary else None,
+            max_all_emptied_by=summary.maximum if summary else None,
+            emptied_by_over_n=(summary.mean / n) if summary else None,
+        )
+    result.add_note(
+        "Lemma 4 predicts every bin empties at least once within 5n rounds w.h.p.; "
+        "the measured 'all emptied by' round should be well below 5n (typically ~n)."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E6 — absorption tail of the Lemma 5 chain
+# ----------------------------------------------------------------------
+def run_e6_absorption(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
+    result = ExperimentResult(spec=spec, params=params)
+    n = params["n"]
+    starts = params["starts"]
+    horizon_factor = params["horizon_factor"]
+    mc_trials = params["mc_trials"]
+    rng = as_generator(seed)
+
+    chain = BinLoadChain(n)
+    for k in starts:
+        horizon = max(int(horizon_factor * max(8 * k, 1)), 16)
+        exact = chain.survival_probabilities(k, horizon)
+        empirical = chain.empirical_survival(k, mc_trials, horizon, seed=rng)
+        ts = np.arange(horizon + 1)
+        valid = ts >= 8 * k
+        bound = np.asarray([absorption_tail_bound(t, k) for t in ts])
+        violations = int(np.count_nonzero(exact[valid] > bound[valid] + 1e-12))
+        t_probe = int(min(horizon, max(8 * k, 16)))
+        result.add_row(
+            n=n,
+            start_k=k,
+            horizon=horizon,
+            exact_survival_at_8k=float(exact[min(8 * k, horizon)]),
+            bound_at_8k=float(absorption_tail_bound(8 * k, k)),
+            exact_survival_at_probe=float(exact[t_probe]),
+            empirical_survival_at_probe=float(empirical[t_probe]),
+            expected_absorption_time=chain.expected_absorption_time(k),
+            bound_violations=violations,
+        )
+    result.add_note(
+        "Lemma 5 predicts P_k(tau > t) <= exp(-t/144) for t >= 8k; "
+        "bound_violations counts grid points where the exact tail exceeds the envelope "
+        "(expected to be 0)."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E7 — Tetris max load O(log n) over a long window
+# ----------------------------------------------------------------------
+def run_e7_tetris_load(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
+    result = ExperimentResult(spec=spec, params=params)
+    sizes = params["sizes"]
+    trials = params["trials"]
+    rounds_factor = params["rounds_factor"]
+    rng = as_generator(seed)
+
+    means = []
+    for n in sizes:
+        rounds = int(rounds_factor * n)
+        maxima = []
+        for _ in range(trials):
+            tetris = TetrisProcess(n, initial=LoadConfiguration.balanced(n), seed=rng)
+            outcome = tetris.run(rounds)
+            maxima.append(outcome.max_load_seen)
+        summary = summarize_trials(maxima)
+        means.append(summary.mean)
+        result.add_row(
+            n=n,
+            rounds=rounds,
+            trials=trials,
+            mean_window_max=summary.mean,
+            max_window_max=summary.maximum,
+            window_max_over_log_n=summary.mean / max(math.log(n), 1.0),
+        )
+    if len(sizes) >= 3:
+        fit = fit_log_growth(sizes, means)
+        result.add_note(
+            f"Tetris window max load ~ {fit.params['coefficient']:.2f} * log n + "
+            f"{fit.params['intercept']:.2f} (R^2 = {fit.r_squared:.3f}); "
+            "Lemma 6 predicts O(log n)."
+        )
+    return result

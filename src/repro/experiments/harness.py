@@ -1,0 +1,48 @@
+"""Running registered experiments.
+
+The harness is a thin layer over the registry: resolve the experiment,
+merge parameter overrides into the defaults, and call the runner with a
+deterministic seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from . import registry
+from .spec import ExperimentResult, ExperimentSpec
+from ..types import SeedLike
+
+__all__ = ["run_experiment", "get_experiment", "available_experiments"]
+
+
+def available_experiments() -> List[ExperimentSpec]:
+    """Specs of every registered experiment, in id order."""
+    return [registry.get(experiment_id).spec for experiment_id in registry.all_ids()]
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """The spec of one experiment (raises for unknown ids)."""
+    return registry.get(experiment_id).spec
+
+
+def run_experiment(
+    experiment_id: str,
+    params: Optional[Dict[str, Any]] = None,
+    seed: SeedLike = 0,
+) -> ExperimentResult:
+    """Run one registered experiment.
+
+    Parameters
+    ----------
+    experiment_id:
+        Registered id (``"E1"`` ... ``"E15"``, ``"A1"``, ``"A3"``).
+    params:
+        Overrides for the experiment's default parameters (unknown keys are
+        rejected so that typos do not silently fall back to defaults).
+    seed:
+        Root seed; every trial derives its own independent stream from it.
+    """
+    entry = registry.get(experiment_id)
+    resolved = entry.spec.merged_params(params)
+    return entry.runner(entry.spec, resolved, seed)

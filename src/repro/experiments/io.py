@@ -1,0 +1,72 @@
+"""Persistence of experiment results (JSON and CSV)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .spec import ExperimentResult, ExperimentSpec
+from .tables import rows_to_csv
+from ..errors import ExperimentError
+
+__all__ = ["save_result_json", "load_result_json", "save_result_csv"]
+
+PathLike = Union[str, Path]
+
+
+def _jsonify(value: Any) -> Any:
+    """Best-effort conversion of NumPy scalars/arrays to plain Python."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (ValueError, AttributeError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def save_result_json(result: ExperimentResult, path: PathLike) -> Path:
+    """Write an experiment result to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = _jsonify(result.to_dict())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def save_result_csv(result: ExperimentResult, path: PathLike) -> Path:
+    """Write an experiment result's rows to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(result.rows))
+    return path
+
+
+def load_result_json(path: PathLike) -> ExperimentResult:
+    """Load a result previously written by :func:`save_result_json`.
+
+    The reconstructed :class:`ExperimentSpec` carries only the persisted
+    fields (id, title, claim); default parameters are not round-tripped.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"result file {path} does not exist")
+    payload: Dict[str, Any] = json.loads(path.read_text())
+    spec = ExperimentSpec(
+        experiment_id=payload.get("experiment_id", "unknown"),
+        title=payload.get("title", ""),
+        claim=payload.get("claim", ""),
+        default_params=dict(payload.get("params", {})),
+    )
+    return ExperimentResult(
+        spec=spec,
+        params=dict(payload.get("params", {})),
+        rows=list(payload.get("rows", [])),
+        notes=list(payload.get("notes", [])),
+    )

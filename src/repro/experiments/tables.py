@@ -1,0 +1,112 @@
+"""Plain-text and CSV rendering of experiment rows.
+
+No plotting dependency: experiments emit aligned text tables (for the
+terminal), GitHub-flavoured markdown tables (for EXPERIMENTS.md), or CSV
+(for downstream analysis).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+
+__all__ = ["format_table", "rows_to_csv", "format_value"]
+
+
+def format_value(value: Any, float_format: str = "{:.4g}") -> str:
+    """Render one cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def _column_order(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]]) -> List[str]:
+    if not rows:
+        return list(columns or [])
+    if columns is not None:
+        missing = [c for c in columns if c not in rows[0]]
+        if missing:
+            raise ExperimentError(f"requested columns {missing} not present in rows")
+        return list(columns)
+    # preserve insertion order of the first row, then append any extras
+    order = list(rows[0].keys())
+    seen = set(order)
+    for row in rows[1:]:
+        for key in row:
+            if key not in seen:
+                order.append(key)
+                seen.add(key)
+    return order
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    style: str = "text",
+    float_format: str = "{:.4g}",
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table or a markdown table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of flat dictionaries.
+    columns:
+        Optional explicit column order (defaults to first-row order).
+    style:
+        ``"text"`` (aligned, boxless) or ``"markdown"``.
+    float_format:
+        Format string applied to floats.
+    title:
+        Optional heading emitted above the table.
+    """
+    if style not in ("text", "markdown"):
+        raise ExperimentError(f"unknown table style {style!r}")
+    order = _column_order(rows, columns)
+    rendered = [
+        [format_value(row.get(col), float_format) for col in order] for row in rows
+    ]
+    header = [str(c) for c in order]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rendered)) if rendered else len(header[i])
+        for i in range(len(order))
+    ]
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    if not order:
+        out.write("(empty table)\n")
+        return out.getvalue()
+
+    if style == "text":
+        out.write("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)).rstrip() + "\n")
+        out.write("  ".join("-" * widths[i] for i in range(len(order))) + "\n")
+        for r in rendered:
+            out.write("  ".join(r[i].ljust(widths[i]) for i in range(len(order))).rstrip() + "\n")
+    else:  # markdown
+        out.write("| " + " | ".join(header) + " |\n")
+        out.write("|" + "|".join(["---"] * len(order)) + "|\n")
+        for r in rendered:
+            out.write("| " + " | ".join(r) + " |\n")
+    return out.getvalue()
+
+
+def rows_to_csv(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as CSV text (header + one line per row)."""
+    import csv
+
+    order = _column_order(rows, columns)
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(order)
+    for row in rows:
+        writer.writerow([row.get(col, "") for col in order])
+    return out.getvalue()

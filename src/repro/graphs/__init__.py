@@ -1,0 +1,33 @@
+"""Graph substrate for the general-topology open question (Section 5).
+
+On the complete graph the repeated balls-into-bins process coincides with
+running ``n`` parallel random walks under the constraint that each node
+forwards at most one token per round.  The paper conjectures (but does not
+prove) that the maximum load stays logarithmic on every regular graph; this
+package provides the topologies and the constrained parallel-walk simulator
+needed to probe that conjecture empirically (experiment E13) and to compare
+against the ``O(sqrt(t))`` bound known for regular graphs.
+"""
+
+from .generators import (
+    complete_graph,
+    cycle_graph,
+    hypercube_graph,
+    random_regular_graph,
+    star_graph,
+    torus_grid_graph,
+)
+from .topology import Topology
+from .walks import ConstrainedParallelWalks, GraphWalkResult
+
+__all__ = [
+    "Topology",
+    "complete_graph",
+    "cycle_graph",
+    "torus_grid_graph",
+    "hypercube_graph",
+    "random_regular_graph",
+    "star_graph",
+    "ConstrainedParallelWalks",
+    "GraphWalkResult",
+]

@@ -1,0 +1,130 @@
+"""Topology generators.
+
+Every generator returns a :class:`~repro.graphs.topology.Topology`.  The
+complete graph includes self-loops so that a token's destination is uniform
+over *all* nodes, matching the balls-into-bins re-assignment rule exactly;
+the other topologies follow the usual graph-theoretic convention (no
+self-loops) because that is what the open question of Section 5 is about.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from .topology import Topology
+from ..errors import GraphError
+from ..rng import as_generator
+from ..types import SeedLike
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "torus_grid_graph",
+    "hypercube_graph",
+    "random_regular_graph",
+    "star_graph",
+    "from_networkx",
+]
+
+
+def complete_graph(n: int, include_self_loops: bool = True) -> Topology:
+    """The clique on ``n`` nodes.
+
+    With ``include_self_loops=True`` (default) each node's neighborhood is
+    the full node set, so a token's next position is uniform over ``[n]`` —
+    the exact repeated balls-into-bins rule.
+    """
+    if n < 1:
+        raise GraphError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return Topology([[0]], name="complete")
+    nodes = list(range(n))
+    if include_self_loops:
+        adjacency = [nodes for _ in range(n)]
+    else:
+        adjacency = [[v for v in nodes if v != u] for u in range(n)]
+    return Topology(adjacency, name="complete")
+
+
+def cycle_graph(n: int) -> Topology:
+    """The ring on ``n`` nodes (2-regular for ``n >= 3``)."""
+    if n < 3:
+        raise GraphError(f"cycle requires n >= 3, got {n}")
+    adjacency = [[(u - 1) % n, (u + 1) % n] for u in range(n)]
+    return Topology(adjacency, name="cycle")
+
+
+def torus_grid_graph(rows: int, cols: Optional[int] = None) -> Topology:
+    """A 2-D torus (wrap-around grid), 4-regular for dimensions >= 3."""
+    if cols is None:
+        cols = rows
+    if rows < 3 or cols < 3:
+        raise GraphError(f"torus requires both dimensions >= 3, got {rows}x{cols}")
+    n = rows * cols
+
+    def node(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    adjacency = []
+    for r in range(rows):
+        for c in range(cols):
+            adjacency.append(
+                [node(r - 1, c), node(r + 1, c), node(r, c - 1), node(r, c + 1)]
+            )
+    topo = Topology(adjacency, name="torus")
+    assert topo.num_nodes == n
+    return topo
+
+
+def hypercube_graph(dimension: int) -> Topology:
+    """The boolean hypercube with ``2**dimension`` nodes (``dimension``-regular)."""
+    if dimension < 1:
+        raise GraphError(f"dimension must be >= 1, got {dimension}")
+    n = 1 << dimension
+    adjacency = [[u ^ (1 << b) for b in range(dimension)] for u in range(n)]
+    return Topology(adjacency, name="hypercube")
+
+
+def random_regular_graph(n: int, degree: int, seed: SeedLike = None) -> Topology:
+    """A uniformly random simple ``degree``-regular graph on ``n`` nodes.
+
+    Uses :func:`networkx.random_regular_graph`; retries until the sampled
+    graph is connected (disconnected samples would trap tokens and make the
+    cover-time metric meaningless).
+    """
+    if n < 3:
+        raise GraphError(f"n must be >= 3, got {n}")
+    if degree < 2 or degree >= n:
+        raise GraphError(f"degree must be in [2, n), got {degree}")
+    if (n * degree) % 2 != 0:
+        raise GraphError(f"n * degree must be even, got n={n}, degree={degree}")
+    rng = as_generator(seed)
+    for _ in range(32):
+        graph = nx.random_regular_graph(degree, n, seed=int(rng.integers(2**31)))
+        if nx.is_connected(graph):
+            return from_networkx(graph, name=f"random_{degree}_regular")
+    raise GraphError(
+        f"failed to sample a connected {degree}-regular graph on {n} nodes after 32 attempts"
+    )
+
+
+def star_graph(n: int) -> Topology:
+    """The star on ``n`` nodes (node 0 is the hub) — a maximally irregular
+    stress topology for the load experiments."""
+    if n < 2:
+        raise GraphError(f"star requires n >= 2, got {n}")
+    adjacency = [list(range(1, n))] + [[0] for _ in range(n - 1)]
+    return Topology(adjacency, name="star")
+
+
+def from_networkx(graph: "nx.Graph", name: Optional[str] = None) -> Topology:
+    """Convert a NetworkX graph (nodes relabelled to 0..n-1) into a Topology."""
+    if graph.number_of_nodes() == 0:
+        raise GraphError("graph must contain at least one node")
+    relabelled = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    n = relabelled.number_of_nodes()
+    adjacency = [sorted(relabelled.neighbors(u)) for u in range(n)]
+    return Topology(adjacency, name=name or "networkx")

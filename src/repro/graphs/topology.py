@@ -1,0 +1,116 @@
+"""Graph topology abstraction used by the constrained parallel-walk simulator.
+
+A :class:`Topology` stores the adjacency structure in CSR-like flat arrays
+(``neighbors`` + ``offsets``) so that sampling a uniform random neighbor for
+a batch of tokens is pure NumPy indexing.  Self-loops are allowed (the
+complete-graph topology includes them so that it matches the paper's
+process, where a ball may be re-assigned to the bin it just left).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An undirected (possibly self-looped) graph in flat-adjacency form.
+
+    Parameters
+    ----------
+    adjacency:
+        A sequence of neighbor lists, one per node.  Node ``u``'s token moves
+        to a uniformly random element of ``adjacency[u]``.
+    name:
+        Human-readable name used in experiment tables.
+    """
+
+    def __init__(self, adjacency: Sequence[Iterable[int]], name: str = "custom") -> None:
+        lists: List[np.ndarray] = []
+        n = len(adjacency)
+        if n == 0:
+            raise GraphError("topology must contain at least one node")
+        for u, nbrs in enumerate(adjacency):
+            arr = np.asarray(sorted(int(v) for v in nbrs), dtype=np.int64)
+            if arr.size == 0:
+                raise GraphError(f"node {u} has no neighbors (tokens would be stuck)")
+            if arr.min() < 0 or arr.max() >= n:
+                raise GraphError(f"node {u} has a neighbor outside [0, {n})")
+            lists.append(arr)
+        self._n = n
+        self._name = name
+        self._degrees = np.asarray([arr.size for arr in lists], dtype=np.int64)
+        self._offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._degrees, out=self._offsets[1:])
+        self._neighbors = np.concatenate(lists)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.array(self._degrees, copy=True)
+
+    @property
+    def is_regular(self) -> bool:
+        """Whether every node has the same degree."""
+        return bool(np.all(self._degrees == self._degrees[0]))
+
+    @property
+    def degree(self) -> Optional[int]:
+        """The common degree for regular graphs, ``None`` otherwise."""
+        return int(self._degrees[0]) if self.is_regular else None
+
+    def neighbors_of(self, node: int) -> np.ndarray:
+        """Neighbor array of one node (copy)."""
+        if not 0 <= node < self._n:
+            raise GraphError(f"node {node} out of range [0, {self._n})")
+        start, stop = self._offsets[node], self._offsets[node + 1]
+        return np.array(self._neighbors[start:stop], copy=True)
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """All (u, v) adjacency pairs, including both directions and self-loops."""
+        edges: List[Tuple[int, int]] = []
+        for u in range(self._n):
+            start, stop = self._offsets[u], self._offsets[u + 1]
+            edges.extend((u, int(v)) for v in self._neighbors[start:stop])
+        return edges
+
+    # ------------------------------------------------------------------
+    def sample_neighbors(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorized: one uniform random neighbor for every node in ``nodes``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        degrees = self._degrees[nodes]
+        picks = (rng.random(nodes.size) * degrees).astype(np.int64)
+        # guard against the (measure-zero) event rng.random() == 1.0 exactly
+        np.minimum(picks, degrees - 1, out=picks)
+        return self._neighbors[self._offsets[nodes] + picks]
+
+    def is_connected(self) -> bool:
+        """Breadth-first connectivity check (ignoring self-loops)."""
+        seen = np.zeros(self._n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            u = stack.pop()
+            start, stop = self._offsets[u], self._offsets[u + 1]
+            for v in self._neighbors[start:stop]:
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(int(v))
+        return bool(seen.all())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        deg = self.degree if self.is_regular else "irregular"
+        return f"Topology(name={self._name!r}, nodes={self._n}, degree={deg})"

@@ -1,0 +1,34 @@
+"""Markov-chain substrate.
+
+The paper's analysis leans on two chains:
+
+* the full repeated balls-into-bins chain on load configurations (huge, but
+  exactly enumerable for tiny ``n`` — :mod:`repro.markov.small_n`), and
+* the one-dimensional absorbing chain ``Z_t`` of Lemma 5 that upper-bounds a
+  single bin's load during a phase (:mod:`repro.markov.absorbing`).
+
+The generic finite-chain tools in :mod:`repro.markov.chain` and the
+spectral / total-variation helpers in :mod:`repro.markov.spectral` support
+both, plus the exactness checks used by the test-suite.
+"""
+
+from .absorbing import BinLoadChain, absorption_tail_bound
+from .chain import FiniteMarkovChain
+from .small_n import (
+    arrival_joint_distribution_n2,
+    enumerate_configurations,
+    exact_rbb_transition_matrix,
+)
+from .spectral import mixing_time_bound, spectral_gap, total_variation_distance
+
+__all__ = [
+    "FiniteMarkovChain",
+    "BinLoadChain",
+    "absorption_tail_bound",
+    "enumerate_configurations",
+    "exact_rbb_transition_matrix",
+    "arrival_joint_distribution_n2",
+    "total_variation_distance",
+    "spectral_gap",
+    "mixing_time_bound",
+]

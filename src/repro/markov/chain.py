@@ -1,0 +1,191 @@
+"""Generic finite discrete-time Markov chain utilities.
+
+A small, dependency-light DTMC toolbox: stationary distributions, k-step
+distributions, expected hitting times, absorption probabilities, and
+simulation.  It backs the exact small-``n`` analysis of the repeated
+balls-into-bins chain and the Lemma 5 absorbing chain, and it is exercised
+directly by the test-suite as a substrate in its own right.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import as_generator
+from ..types import SeedLike
+
+__all__ = ["FiniteMarkovChain"]
+
+
+class FiniteMarkovChain:
+    """A finite DTMC defined by a row-stochastic transition matrix.
+
+    Parameters
+    ----------
+    transition_matrix:
+        Square array ``P`` with non-negative entries and unit row sums.
+    state_labels:
+        Optional hashable labels for the states (defaults to ``0..k-1``).
+    """
+
+    def __init__(
+        self,
+        transition_matrix: np.ndarray,
+        state_labels: Optional[Sequence] = None,
+        atol: float = 1e-9,
+    ) -> None:
+        P = np.asarray(transition_matrix, dtype=float)
+        if P.ndim != 2 or P.shape[0] != P.shape[1]:
+            raise ConfigurationError(f"transition matrix must be square, got shape {P.shape}")
+        if P.shape[0] == 0:
+            raise ConfigurationError("transition matrix must have at least one state")
+        if np.any(P < -atol):
+            raise ConfigurationError("transition matrix has negative entries")
+        row_sums = P.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ConfigurationError("transition matrix rows must sum to 1")
+        self._P = np.clip(P, 0.0, None)
+        self._P = self._P / self._P.sum(axis=1, keepdims=True)
+        self._n = P.shape[0]
+        if state_labels is not None:
+            labels = list(state_labels)
+            if len(labels) != self._n:
+                raise ConfigurationError(
+                    f"{len(labels)} labels supplied for {self._n} states"
+                )
+            self._labels = labels
+            self._index = {label: i for i, label in enumerate(labels)}
+        else:
+            self._labels = list(range(self._n))
+            self._index = {i: i for i in range(self._n)}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self._n
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        return np.array(self._P, copy=True)
+
+    @property
+    def state_labels(self) -> list:
+        return list(self._labels)
+
+    def index_of(self, label) -> int:
+        """Map a state label to its row index."""
+        try:
+            return self._index[label]
+        except KeyError:
+            raise ConfigurationError(f"unknown state label {label!r}") from None
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+    def step_distribution(self, distribution: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Push a distribution forward ``steps`` rounds."""
+        mu = np.asarray(distribution, dtype=float)
+        if mu.shape != (self._n,):
+            raise ConfigurationError(
+                f"distribution must have shape ({self._n},), got {mu.shape}"
+            )
+        if steps < 0:
+            raise ConfigurationError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            mu = mu @ self._P
+        return mu
+
+    def k_step_matrix(self, steps: int) -> np.ndarray:
+        """Return ``P^steps``."""
+        if steps < 0:
+            raise ConfigurationError(f"steps must be >= 0, got {steps}")
+        return np.linalg.matrix_power(self._P, steps)
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution ``pi`` with ``pi P = pi``.
+
+        Computed as the null space of ``(P^T - I)`` restricted to the
+        probability simplex.  For reducible chains this returns *one*
+        stationary distribution (the least-squares solution), which is what
+        the library needs for its exactness checks on irreducible chains.
+        """
+        A = np.vstack([self._P.T - np.eye(self._n), np.ones((1, self._n))])
+        b = np.zeros(self._n + 1)
+        b[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(A, b, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        total = pi.sum()
+        if total <= 0:
+            raise ConfigurationError("failed to compute a stationary distribution")
+        return pi / total
+
+    # ------------------------------------------------------------------
+    # Hitting / absorption
+    # ------------------------------------------------------------------
+    def expected_hitting_times(self, targets: Iterable) -> np.ndarray:
+        """Expected number of steps to reach the target set from every state.
+
+        Solves the standard first-step system ``h_i = 0`` for targets and
+        ``h_i = 1 + sum_j P_ij h_j`` otherwise.  States that cannot reach the
+        target set get ``inf``.
+        """
+        target_idx = {self.index_of(t) for t in targets}
+        if not target_idx:
+            raise ConfigurationError("targets must be non-empty")
+        others = [i for i in range(self._n) if i not in target_idx]
+        h = np.zeros(self._n)
+        if not others:
+            return h
+        Q = self._P[np.ix_(others, others)]
+        A = np.eye(len(others)) - Q
+        b = np.ones(len(others))
+        try:
+            sol = np.linalg.solve(A, b)
+        except np.linalg.LinAlgError:
+            sol, *_ = np.linalg.lstsq(A, b, rcond=None)
+        for pos, i in enumerate(others):
+            value = sol[pos]
+            h[i] = value if np.isfinite(value) and value >= 0 else np.inf
+        return h
+
+    def absorption_probabilities(self, absorbing_states: Iterable) -> np.ndarray:
+        """Probability of eventually hitting the absorbing set from each state."""
+        target_idx = sorted({self.index_of(t) for t in absorbing_states})
+        if not target_idx:
+            raise ConfigurationError("absorbing_states must be non-empty")
+        others = [i for i in range(self._n) if i not in target_idx]
+        probs = np.zeros(self._n)
+        probs[target_idx] = 1.0
+        if not others:
+            return probs
+        Q = self._P[np.ix_(others, others)]
+        R = self._P[np.ix_(others, target_idx)]
+        A = np.eye(len(others)) - Q
+        b = R.sum(axis=1)
+        try:
+            sol = np.linalg.solve(A, b)
+        except np.linalg.LinAlgError:
+            sol, *_ = np.linalg.lstsq(A, b, rcond=None)
+        probs[others] = np.clip(sol, 0.0, 1.0)
+        return probs
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def sample_path(self, start, length: int, seed: SeedLike = None) -> list:
+        """Simulate a trajectory of ``length`` transitions starting at ``start``."""
+        if length < 0:
+            raise ConfigurationError(f"length must be >= 0, got {length}")
+        rng = as_generator(seed)
+        current = self.index_of(start)
+        path = [self._labels[current]]
+        for _ in range(length):
+            current = int(rng.choice(self._n, p=self._P[current]))
+            path.append(self._labels[current])
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FiniteMarkovChain(num_states={self._n})"

@@ -1,0 +1,172 @@
+"""Exact analysis of the repeated balls-into-bins chain for tiny systems.
+
+For very small ``n`` the full configuration chain can be enumerated and its
+transition matrix computed exactly, which the test-suite uses to validate
+the Monte-Carlo simulators against ground truth, and which reproduces the
+Appendix B counterexample (arrival counts at a bin in consecutive rounds are
+*not* negatively associated) by exact enumeration.
+
+The state space is the set of *compositions* of ``m`` balls into ``n``
+ordered bins; its size is ``C(m + n - 1, n - 1)``, so exact work is limited
+to roughly ``n <= 5``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .chain import FiniteMarkovChain
+from ..errors import ConfigurationError
+
+__all__ = [
+    "enumerate_configurations",
+    "exact_rbb_transition_matrix",
+    "exact_rbb_chain",
+    "arrival_joint_distribution_n2",
+    "appendix_b_counterexample",
+]
+
+Configuration = Tuple[int, ...]
+
+
+def enumerate_configurations(n_balls: int, n_bins: int) -> List[Configuration]:
+    """All load configurations of ``n_balls`` balls in ``n_bins`` ordered bins.
+
+    Returned in lexicographic order; the list length is
+    ``C(n_balls + n_bins - 1, n_bins - 1)``.
+    """
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be >= 0, got {n_balls}")
+
+    configs: List[Configuration] = []
+
+    def rec(prefix: List[int], remaining: int, bins_left: int) -> None:
+        if bins_left == 1:
+            configs.append(tuple(prefix + [remaining]))
+            return
+        for take in range(remaining + 1):
+            rec(prefix + [take], remaining - take, bins_left - 1)
+
+    rec([], n_balls, n_bins)
+    return configs
+
+
+def _transition_distribution(config: Configuration, n_bins: int) -> Dict[Configuration, float]:
+    """Exact one-round transition distribution out of ``config``.
+
+    Each non-empty bin sends one ball to an independent uniform destination;
+    we enumerate all ``n^h`` destination tuples (``h`` = non-empty bins).
+    """
+    loads = np.asarray(config, dtype=np.int64)
+    nonempty = np.flatnonzero(loads > 0)
+    h = nonempty.size
+    base = loads.copy()
+    base[nonempty] -= 1
+    if h == 0:
+        return {tuple(base.tolist()): 1.0}
+    prob = (1.0 / n_bins) ** h
+    out: Dict[Configuration, float] = {}
+    for destinations in itertools.product(range(n_bins), repeat=h):
+        result = base.copy()
+        for d in destinations:
+            result[d] += 1
+        key = tuple(int(x) for x in result)
+        out[key] = out.get(key, 0.0) + prob
+    return out
+
+
+def exact_rbb_transition_matrix(
+    n_bins: int, n_balls: int | None = None
+) -> Tuple[np.ndarray, List[Configuration]]:
+    """Exact transition matrix of the repeated balls-into-bins chain.
+
+    Returns ``(P, states)`` where ``states`` lists the configurations in the
+    row/column order of ``P``.
+    """
+    m = n_bins if n_balls is None else n_balls
+    states = enumerate_configurations(m, n_bins)
+    index = {s: i for i, s in enumerate(states)}
+    P = np.zeros((len(states), len(states)))
+    for i, config in enumerate(states):
+        for target, prob in _transition_distribution(config, n_bins).items():
+            P[i, index[target]] += prob
+    return P, states
+
+
+def exact_rbb_chain(n_bins: int, n_balls: int | None = None) -> FiniteMarkovChain:
+    """The exact configuration chain wrapped as a :class:`FiniteMarkovChain`."""
+    P, states = exact_rbb_transition_matrix(n_bins, n_balls)
+    return FiniteMarkovChain(P, state_labels=states)
+
+
+# ----------------------------------------------------------------------
+# Appendix B: the negative-association counterexample for n = 2
+# ----------------------------------------------------------------------
+def arrival_joint_distribution_n2(
+    observed_bin: int = 0, rounds: int = 2
+) -> Dict[Tuple[int, ...], float]:
+    """Exact joint distribution of the arrival counts at one bin over the
+    first ``rounds`` rounds of the ``n = 2`` process started from ``(1, 1)``.
+
+    ``X_t`` is the number of balls *arriving* at ``observed_bin`` in round
+    ``t``.  Appendix B uses ``rounds = 2`` and shows
+    ``P(X_1 = 0, X_2 = 0) = 1/8 > P(X_1 = 0) P(X_2 = 0) = 1/4 * 3/8``.
+    """
+    n = 2
+    if observed_bin not in (0, 1):
+        raise ConfigurationError("observed_bin must be 0 or 1 for the n=2 system")
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+
+    joint: Dict[Tuple[int, ...], float] = {}
+
+    def recurse(config: Tuple[int, int], history: Tuple[int, ...], prob: float, depth: int) -> None:
+        if depth == rounds:
+            joint[history] = joint.get(history, 0.0) + prob
+            return
+        loads = np.asarray(config, dtype=np.int64)
+        nonempty = np.flatnonzero(loads > 0)
+        h = nonempty.size
+        base = loads.copy()
+        base[nonempty] -= 1
+        if h == 0:
+            recurse(tuple(base.tolist()), history + (0,), prob, depth + 1)
+            return
+        p_each = prob * (1.0 / n) ** h
+        for destinations in itertools.product(range(n), repeat=h):
+            result = base.copy()
+            arrivals = 0
+            for d in destinations:
+                result[d] += 1
+                if d == observed_bin:
+                    arrivals += 1
+            recurse(tuple(int(x) for x in result), history + (arrivals,), p_each, depth + 1)
+
+    recurse((1, 1), (), 1.0, 0)
+    return joint
+
+
+def appendix_b_counterexample() -> Dict[str, float]:
+    """Reproduce the exact numbers of Appendix B.
+
+    Returns a dictionary with ``p_x1_0`` (= 1/4), ``p_x2_0`` (= 3/8),
+    ``p_joint_00`` (= 1/8), ``product`` (= 3/32), and the boolean-as-float
+    ``violates_negative_association`` (1.0 since 1/8 > 3/32).
+    """
+    joint = arrival_joint_distribution_n2(rounds=2)
+    p_x1_0 = sum(p for (x1, _x2), p in joint.items() if x1 == 0)
+    p_x2_0 = sum(p for (_x1, x2), p in joint.items() if x2 == 0)
+    p_joint = joint.get((0, 0), 0.0)
+    product = p_x1_0 * p_x2_0
+    return {
+        "p_x1_0": p_x1_0,
+        "p_x2_0": p_x2_0,
+        "p_joint_00": p_joint,
+        "product": product,
+        "violates_negative_association": float(p_joint > product),
+    }

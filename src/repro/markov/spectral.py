@@ -1,0 +1,95 @@
+"""Spectral and distance utilities for finite chains.
+
+These helpers support the exactness tests (stationary-distribution
+convergence of the small-``n`` chain) and give a quantitative handle on how
+fast the repeated balls-into-bins chain forgets its initial configuration —
+the mechanism behind self-stabilization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "total_variation_distance",
+    "spectral_gap",
+    "mixing_time_bound",
+    "empirical_mixing_time",
+]
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance ``0.5 * sum |p_i - q_i|`` between two pmfs."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ConfigurationError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def spectral_gap(transition_matrix: np.ndarray) -> float:
+    """Absolute spectral gap ``1 - max_{i >= 2} |lambda_i|`` of a stochastic matrix.
+
+    For reversible chains this controls mixing; for the (non-reversible)
+    repeated balls-into-bins chain it is still a useful diagnostic.
+    """
+    P = np.asarray(transition_matrix, dtype=float)
+    if P.ndim != 2 or P.shape[0] != P.shape[1]:
+        raise ConfigurationError(f"transition matrix must be square, got shape {P.shape}")
+    eigenvalues = np.linalg.eigvals(P)
+    moduli = np.sort(np.abs(eigenvalues))[::-1]
+    if moduli.size == 1:
+        return 1.0
+    second = float(moduli[1])
+    return max(0.0, 1.0 - min(second, 1.0))
+
+
+def mixing_time_bound(
+    transition_matrix: np.ndarray,
+    stationary: Optional[np.ndarray] = None,
+    epsilon: float = 0.25,
+) -> float:
+    """Standard spectral upper bound on the mixing time.
+
+    ``t_mix(eps) <= log(1 / (eps * pi_min)) / gap`` — meaningful for chains
+    with a positive gap; returns ``inf`` when the gap is (numerically) zero.
+    """
+    if not 0 < epsilon < 1:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    gap = spectral_gap(transition_matrix)
+    if gap <= 1e-12:
+        return math.inf
+    P = np.asarray(transition_matrix, dtype=float)
+    if stationary is None:
+        from .chain import FiniteMarkovChain
+
+        stationary = FiniteMarkovChain(P).stationary_distribution()
+    pi_min = float(np.min(stationary[stationary > 0])) if np.any(stationary > 0) else 1e-12
+    return math.log(1.0 / (epsilon * pi_min)) / gap
+
+
+def empirical_mixing_time(
+    transition_matrix: np.ndarray,
+    start_distribution: np.ndarray,
+    epsilon: float = 0.25,
+    max_steps: int = 10_000,
+) -> Optional[int]:
+    """Smallest ``t`` with ``TV(mu_0 P^t, pi) <= epsilon``, or ``None`` if not
+    reached within ``max_steps``."""
+    from .chain import FiniteMarkovChain
+
+    chain = FiniteMarkovChain(np.asarray(transition_matrix, dtype=float))
+    pi = chain.stationary_distribution()
+    mu = np.asarray(start_distribution, dtype=float)
+    if mu.shape != pi.shape:
+        raise ConfigurationError(f"start distribution shape {mu.shape} incompatible with chain")
+    for t in range(max_steps + 1):
+        if total_variation_distance(mu, pi) <= epsilon:
+            return t
+        mu = chain.step_distribution(mu)
+    return None

@@ -1,0 +1,19 @@
+"""Parallel Monte-Carlo execution substrate.
+
+Experiments are embarrassingly parallel across trials: the runner spawns
+independent seed sequences per trial (so results do not depend on the worker
+count), executes the trial function either sequentially or in a process
+pool, and aggregates the per-trial records.
+"""
+
+from .aggregate import TrialAggregate, aggregate_records
+from .runner import TrialRunner, run_trials
+from .seeding import trial_seeds
+
+__all__ = [
+    "TrialRunner",
+    "run_trials",
+    "trial_seeds",
+    "TrialAggregate",
+    "aggregate_records",
+]

@@ -1,0 +1,118 @@
+"""Trial execution: sequential or multi-process.
+
+The runner executes ``trial_fn(trial_index, seed_sequence, **kwargs)`` for
+``n_trials`` independent trials.  The trial function must be picklable
+(module-level) for process-pool execution; closures fall back to sequential
+execution automatically.  Results are returned in trial order regardless of
+completion order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from .seeding import trial_seeds
+from ..errors import ConfigurationError
+from ..types import SeedLike
+
+__all__ = ["TrialRunner", "run_trials"]
+
+TrialFunction = Callable[..., Any]
+
+
+def _execute_trial(payload) -> Any:
+    """Module-level worker entry point (must be picklable)."""
+    trial_fn, trial_index, seed, kwargs = payload
+    return trial_fn(trial_index, seed, **kwargs)
+
+
+def _is_picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+@dataclass
+class TrialRunner:
+    """Run independent Monte-Carlo trials of a function.
+
+    Parameters
+    ----------
+    n_workers:
+        ``None`` or ``0`` → sequential execution; ``>= 1`` → a process pool
+        with that many workers (capped at the CPU count).
+    chunk_size:
+        Number of trials submitted per pool task; larger chunks amortize
+        inter-process overhead for fast trials.
+    """
+
+    n_workers: Optional[int] = None
+    chunk_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_workers is not None and self.n_workers < 0:
+            raise ConfigurationError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    @property
+    def effective_workers(self) -> int:
+        """Resolved worker count (0 means run in-process)."""
+        if not self.n_workers:
+            return 0
+        return min(self.n_workers, os.cpu_count() or 1)
+
+    def run(
+        self,
+        trial_fn: TrialFunction,
+        n_trials: int,
+        seed: SeedLike = None,
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
+        """Execute ``n_trials`` trials and return their results in order."""
+        if n_trials < 0:
+            raise ConfigurationError(f"n_trials must be >= 0, got {n_trials}")
+        kwargs = dict(kwargs or {})
+        seeds = trial_seeds(seed, n_trials)
+
+        workers = self.effective_workers
+        use_pool = (
+            workers > 1
+            and n_trials > 1
+            and _is_picklable(trial_fn)
+            and _is_picklable(kwargs)
+        )
+        if not use_pool:
+            return [trial_fn(i, seeds[i], **kwargs) for i in range(n_trials)]
+
+        payloads = [(trial_fn, i, seeds[i], kwargs) for i in range(n_trials)]
+        results: List[Any] = [None] * n_trials
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for i, outcome in enumerate(
+                pool.map(_execute_trial, payloads, chunksize=self.chunk_size)
+            ):
+                results[i] = outcome
+        return results
+
+
+def run_trials(
+    trial_fn: TrialFunction,
+    n_trials: int,
+    seed: SeedLike = None,
+    n_workers: Optional[int] = None,
+    **kwargs,
+) -> List[Any]:
+    """Convenience wrapper around :class:`TrialRunner`.
+
+    Extra keyword arguments are forwarded to every trial invocation.
+    """
+    runner = TrialRunner(n_workers=n_workers)
+    return runner.run(trial_fn, n_trials, seed=seed, kwargs=kwargs)

@@ -1,0 +1,27 @@
+"""Multi-token traversal (Section 4).
+
+The repeated balls-into-bins process, read as ``n`` tokens performing
+parallel random walks on the clique with at-most-one-token-forwarded-per-
+node-per-round, is a randomized protocol for the multi-token traversal
+problem: every token must visit every node.  This package provides
+
+* :class:`MultiTokenTraversal` — cover-time measurement for the parallel
+  protocol (Corollary 1: ``O(n log^2 n)`` w.h.p.),
+* :class:`SingleTokenWalk` — the classical single random walk baseline
+  (cover time ``Theta(n log n)`` on the clique), and
+* progress/delay statistics for individual tokens (the
+  ``Omega(t / log n)`` progress guarantee under FIFO).
+"""
+
+from .multi_token import MultiTokenTraversal, TraversalResult
+from .progress import ProgressStats, progress_statistics
+from .single_token import SingleTokenWalk, expected_single_cover_time
+
+__all__ = [
+    "MultiTokenTraversal",
+    "TraversalResult",
+    "SingleTokenWalk",
+    "expected_single_cover_time",
+    "ProgressStats",
+    "progress_statistics",
+]

@@ -1,0 +1,46 @@
+"""Shared type aliases and protocols used across the library.
+
+The simulator works on plain NumPy arrays for speed; these aliases give the
+public API self-documenting signatures without introducing wrapper types in
+the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Union, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "LoadVector",
+    "SeedLike",
+    "Observer",
+    "RoundCallback",
+]
+
+#: A length-``n`` integer vector; entry ``u`` is the number of balls in bin ``u``.
+LoadVector = np.ndarray
+
+#: Anything accepted by :func:`repro.rng.as_generator`.
+SeedLike = Union[int, None, np.random.Generator, np.random.SeedSequence]
+
+
+@runtime_checkable
+class Observer(Protocol):
+    """Protocol for per-round metric collectors.
+
+    Observers are called once per simulated round *after* the round has been
+    applied.  They must not mutate the load vector they receive (the
+    simulators pass their internal buffer for efficiency).
+    """
+
+    def observe(self, round_index: int, loads: LoadVector) -> None:
+        """Record whatever the observer cares about for this round."""
+        ...
+
+
+@runtime_checkable
+class RoundCallback(Protocol):
+    """A bare callable alternative to :class:`Observer`."""
+
+    def __call__(self, round_index: int, loads: LoadVector) -> None: ...

@@ -1,0 +1,18 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[8, 32, 64])
+def small_n(request) -> int:
+    """A selection of small system sizes exercised by parametrized tests."""
+    return request.param

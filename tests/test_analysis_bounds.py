@@ -1,0 +1,148 @@
+"""Unit tests for repro.analysis.bounds and repro.analysis.concentration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    convergence_time_bound,
+    coupon_collector_time,
+    empty_bins_lower_bound,
+    log_bound,
+    loglog_bound,
+    multi_token_cover_bound,
+    sqrt_window_bound,
+    tetris_emptying_bound,
+)
+from repro.analysis.concentration import (
+    binomial_tail_exact,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_bound,
+    lemma1_empty_bins_bound,
+    lemma4_tetris_bound,
+    lemma5_exponent,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBoundCurves:
+    def test_log_bound(self):
+        assert log_bound(math.e**2) == pytest.approx(2.0, rel=1e-6)
+        assert log_bound(1024, constant=3.0) == pytest.approx(3 * math.log(1024))
+        assert log_bound(1) == pytest.approx(1.0)  # clamped
+        with pytest.raises(ConfigurationError):
+            log_bound(0)
+
+    def test_loglog_bound(self):
+        n = 2**16
+        assert loglog_bound(n) == pytest.approx(math.log(n) / math.log(math.log(n)))
+        assert loglog_bound(2) == 1.0
+        # the one-shot curve grows more slowly than the log curve
+        assert loglog_bound(2**20) < log_bound(2**20)
+
+    def test_sqrt_window_bound(self):
+        assert sqrt_window_bound(25) == pytest.approx(5.0)
+        assert sqrt_window_bound(25, constant=2.0) == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            sqrt_window_bound(-1)
+
+    def test_coupon_collector(self):
+        assert coupon_collector_time(1) == pytest.approx(1.0)
+        assert coupon_collector_time(2) == pytest.approx(3.0)
+        # asymptotic branch is close to the exact sum around the crossover
+        assert coupon_collector_time(20000) == pytest.approx(
+            20000 * (math.log(20000) + 0.5772156649), rel=1e-3
+        )
+
+    def test_multi_token_cover_bound(self):
+        n = 256
+        assert multi_token_cover_bound(n) == pytest.approx(n * math.log(n) ** 2)
+        assert multi_token_cover_bound(n, constant=2.0) == pytest.approx(2 * n * math.log(n) ** 2)
+
+    def test_tetris_and_convergence_and_empty(self):
+        assert tetris_emptying_bound(100) == 500
+        assert convergence_time_bound(100, constant=2.0) == 200.0
+        assert empty_bins_lower_bound(100) == 25.0
+        with pytest.raises(ConfigurationError):
+            tetris_emptying_bound(0)
+
+
+class TestChernoffBounds:
+    def test_lower_tail_formula(self):
+        assert chernoff_lower_tail(100, 0.5) == pytest.approx(math.exp(-0.25 * 100 / 2))
+
+    def test_upper_tail_formula(self):
+        assert chernoff_upper_tail(100, 0.5) == pytest.approx(math.exp(-0.25 * 100 / 3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chernoff_lower_tail(-1, 0.5)
+        with pytest.raises(ConfigurationError):
+            chernoff_lower_tail(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            chernoff_upper_tail(10, 1.0)
+
+    def test_bounds_dominate_exact_binomial_tails(self):
+        """Appendix A's inequalities really do bound the exact tails."""
+        n, p = 400, 0.5
+        mu = n * p
+        for delta in (0.1, 0.2, 0.4):
+            exact_low = binomial_tail_exact(n, p, (1 - delta) * mu, upper=False)
+            exact_high = binomial_tail_exact(n, p, (1 + delta) * mu, upper=True)
+            assert exact_low <= chernoff_lower_tail(mu, delta) + 1e-12
+            assert exact_high <= chernoff_upper_tail(mu, delta) + 1e-12
+
+    def test_hoeffding(self):
+        assert hoeffding_bound(100, 0.1) == pytest.approx(math.exp(-2 * 100 * 0.01))
+        with pytest.raises(ConfigurationError):
+            hoeffding_bound(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            hoeffding_bound(10, -0.1)
+
+    def test_binomial_tail_exact_validation(self):
+        assert binomial_tail_exact(10, 0.5, 0, upper=True) == pytest.approx(1.0)
+        assert binomial_tail_exact(10, 0.5, 10, upper=False) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            binomial_tail_exact(-1, 0.5, 1)
+        with pytest.raises(ConfigurationError):
+            binomial_tail_exact(10, 1.5, 1)
+
+
+class TestLemmaSpecificBounds:
+    def test_lemma1_bound_decays_with_n(self):
+        assert lemma1_empty_bins_bound(1000) < lemma1_empty_bins_bound(100) < 1.0
+        with pytest.raises(ConfigurationError):
+            lemma1_empty_bins_bound(0)
+        with pytest.raises(ConfigurationError):
+            lemma1_empty_bins_bound(10, epsilon=1.5)
+
+    def test_lemma4_bound(self):
+        assert lemma4_tetris_bound(180) == pytest.approx(math.exp(-1.0))
+        with pytest.raises(ConfigurationError):
+            lemma4_tetris_bound(0)
+
+    def test_lemma5_exponent(self):
+        assert lemma5_exponent(144) == pytest.approx(math.exp(-1.0))
+        assert lemma5_exponent(0) == 1.0
+        with pytest.raises(ConfigurationError):
+            lemma5_exponent(-1)
+
+    def test_lemma1_bound_is_conservative_vs_simulation(self):
+        """The probability of seeing fewer than n/4 empty bins in one round of
+        the real process is far below the (already tiny) analytic bound."""
+        from repro.core.process import RepeatedBallsIntoBins
+
+        n = 256
+        process = RepeatedBallsIntoBins(n, seed=0)
+        failures = 0
+        rounds = 400
+        process.step()
+        for _ in range(rounds):
+            loads = process.step()
+            if (loads == 0).sum() < n / 4:
+                failures += 1
+        assert failures == 0
+        assert lemma1_empty_bins_bound(n) < 0.6

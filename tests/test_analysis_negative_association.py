@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis.negative_association."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.negative_association import (
+    empirical_arrival_correlation,
+    empirical_zero_zero_probability,
+    is_negatively_associated_pair,
+    negative_association_gap,
+)
+from repro.errors import ConfigurationError
+from repro.markov.small_n import arrival_joint_distribution_n2
+
+
+class TestGapComputation:
+    def test_independent_pair_has_zero_gap(self):
+        # X, Y independent Bernoulli(1/2)
+        joint = {(0, 0): 0.25, (0, 1): 0.25, (1, 0): 0.25, (1, 1): 0.25}
+        assert negative_association_gap(joint) == pytest.approx(0.0)
+        assert is_negatively_associated_pair(joint)
+
+    def test_negatively_associated_pair(self):
+        # Y = 1 - X: zero-zero never happens
+        joint = {(0, 1): 0.5, (1, 0): 0.5}
+        assert negative_association_gap(joint) == pytest.approx(-0.25)
+        assert is_negatively_associated_pair(joint)
+
+    def test_positively_associated_pair(self):
+        # X = Y Bernoulli(1/2)
+        joint = {(0, 0): 0.5, (1, 1): 0.5}
+        assert negative_association_gap(joint) == pytest.approx(0.25)
+        assert not is_negatively_associated_pair(joint)
+
+    def test_paper_counterexample_gap(self):
+        joint = arrival_joint_distribution_n2(rounds=2)
+        gap = negative_association_gap(joint)
+        assert gap == pytest.approx(1 / 8 - 3 / 32)
+        assert not is_negatively_associated_pair(joint)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            negative_association_gap({})
+        with pytest.raises(ConfigurationError):
+            negative_association_gap({(0, 0): 0.4})  # does not sum to 1
+
+
+class TestEmpiricalEstimates:
+    def test_n2_estimates_match_exact(self):
+        estimate = empirical_zero_zero_probability(2, trials=5000, seed=0)
+        assert abs(estimate["p_first_zero"] - 0.25) < 0.03
+        assert abs(estimate["p_second_zero"] - 0.375) < 0.03
+        assert abs(estimate["p_joint_zero"] - 0.125) < 0.03
+        assert estimate["gap"] > 0
+
+    def test_positive_gap_persists_for_larger_n(self):
+        estimate = empirical_zero_zero_probability(8, trials=4000, seed=1)
+        assert estimate["gap"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            empirical_zero_zero_probability(1, trials=10)
+        with pytest.raises(ConfigurationError):
+            empirical_zero_zero_probability(4, trials=0)
+        with pytest.raises(ConfigurationError):
+            empirical_zero_zero_probability(4, trials=10, observed_bin=9)
+        with pytest.raises(ConfigurationError):
+            empirical_zero_zero_probability(4, trials=10, rounds=(2, 2))
+
+    def test_lag_one_arrival_correlation_positive(self):
+        """Arrivals at a bin in consecutive rounds are positively correlated —
+        the large-n analogue of Appendix B."""
+        corr = empirical_arrival_correlation(8, window=60, trials=60, seed=2)
+        assert corr > 0.0
+
+    def test_correlation_validation(self):
+        with pytest.raises(ConfigurationError):
+            empirical_arrival_correlation(8, window=2, trials=10)
+        with pytest.raises(ConfigurationError):
+            empirical_arrival_correlation(8, window=10, trials=0)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.analysis.occupancy (load-distribution analysis)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.occupancy import (
+    OccupancyDistribution,
+    empirical_occupancy,
+    geometric_tail_fit,
+    poisson_occupancy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOccupancyDistribution:
+    def test_normalization(self):
+        dist = OccupancyDistribution(np.array([2.0, 1.0, 1.0]))
+        assert dist.pmf.sum() == pytest.approx(1.0)
+        assert dist.pmf[0] == pytest.approx(0.5)
+
+    def test_mean_and_empty_fraction(self):
+        dist = OccupancyDistribution(np.array([0.5, 0.25, 0.25]))
+        assert dist.mean == pytest.approx(0.75)
+        assert dist.empty_fraction == pytest.approx(0.5)
+
+    def test_tail_and_quantile(self):
+        dist = OccupancyDistribution(np.array([0.5, 0.3, 0.2]))
+        assert dist.tail(0) == pytest.approx(1.0)
+        assert dist.tail(1) == pytest.approx(0.5)
+        assert dist.tail(2) == pytest.approx(0.2)
+        assert dist.tail(5) == 0.0
+        assert dist.quantile(0.5) == 0
+        assert dist.quantile(0.9) == 2
+        with pytest.raises(ConfigurationError):
+            dist.tail(-1)
+        with pytest.raises(ConfigurationError):
+            dist.quantile(1.5)
+
+    def test_total_variation(self):
+        a = OccupancyDistribution(np.array([1.0, 0.0]))
+        b = OccupancyDistribution(np.array([0.0, 1.0, 0.0]))
+        assert a.total_variation(b) == pytest.approx(1.0)
+        assert a.total_variation(a) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OccupancyDistribution(np.array([]))
+        with pytest.raises(ConfigurationError):
+            OccupancyDistribution(np.array([-0.5, 1.5]))
+        with pytest.raises(ConfigurationError):
+            OccupancyDistribution(np.zeros(3))
+
+    def test_pmf_read_only(self):
+        dist = OccupancyDistribution(np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            dist.pmf[0] = 1.0
+
+
+class TestPoissonReference:
+    def test_poisson_one_values(self):
+        dist = poisson_occupancy(1.0)
+        assert dist.pmf[0] == pytest.approx(math.exp(-1.0), rel=1e-9)
+        assert dist.pmf[1] == pytest.approx(math.exp(-1.0), rel=1e-9)
+        assert dist.pmf[2] == pytest.approx(math.exp(-1.0) / 2, rel=1e-9)
+        assert dist.mean == pytest.approx(1.0, abs=1e-6)
+
+    def test_poisson_zero_mean(self):
+        dist = poisson_occupancy(0.0)
+        assert dist.pmf[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_occupancy(-1.0)
+        with pytest.raises(ConfigurationError):
+            poisson_occupancy(1.0, support=0)
+
+
+class TestEmpiricalOccupancy:
+    def test_mean_load_is_m_over_n(self):
+        dist = empirical_occupancy(128, rounds=200, seed=0)
+        assert dist.mean == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_fraction_exceeds_quarter(self):
+        # Lemma 1/2 seen through the occupancy distribution
+        dist = empirical_occupancy(256, rounds=200, seed=1)
+        assert dist.empty_fraction >= 0.25
+
+    def test_more_balls_shift_the_mean(self):
+        dist = empirical_occupancy(64, rounds=200, n_balls=128, seed=2)
+        assert dist.mean == pytest.approx(2.0, abs=1e-9)
+
+    def test_heavier_tail_than_poisson_but_geometric(self):
+        """The repeated process' occupancy is close to, but more spread than,
+        the Poisson(1) one-shot limit; its tail decays geometrically."""
+        dist = empirical_occupancy(256, rounds=400, seed=3)
+        poisson = poisson_occupancy(1.0)
+        assert dist.total_variation(poisson) < 0.25
+        rate = geometric_tail_fit(dist, start=1)
+        assert 0.0 < rate < 0.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            empirical_occupancy(16, rounds=0)
+        with pytest.raises(ConfigurationError):
+            empirical_occupancy(16, rounds=5, warmup=-1)
+
+
+class TestGeometricTailFit:
+    def test_exact_geometric_recovered(self):
+        r = 0.5
+        pmf = np.array([(1 - r) * r**k for k in range(30)])
+        rate = geometric_tail_fit(OccupancyDistribution(pmf), start=1)
+        assert rate == pytest.approx(r, abs=0.02)
+
+    def test_needs_enough_tail(self):
+        dist = OccupancyDistribution(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            geometric_tail_fit(dist)
+
+    def test_start_validation(self):
+        dist = poisson_occupancy(1.0)
+        with pytest.raises(ConfigurationError):
+            geometric_tail_fit(dist, start=-1)

@@ -1,0 +1,171 @@
+"""Unit tests for repro.analysis.statistics and repro.analysis.fitting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    compare_growth_models,
+    fit_linear,
+    fit_log_growth,
+    fit_power_law,
+)
+from repro.analysis.statistics import (
+    bootstrap_confidence_interval,
+    empirical_whp_probability,
+    mean_confidence_interval,
+    summarize_trials,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        summary = summarize_trials(values)
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.median == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.q10 <= summary.median <= summary.q90
+        as_dict = summary.as_dict()
+        assert as_dict["count"] == 5
+
+    def test_single_value(self):
+        summary = summarize_trials([7.0])
+        assert summary.mean == 7.0
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 7.0
+
+    def test_constant_values(self):
+        summary = summarize_trials([2.0] * 10)
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            summarize_trials([])
+        with pytest.raises(ConfigurationError):
+            summarize_trials([1.0, float("nan")])
+        with pytest.raises(ConfigurationError):
+            summarize_trials(np.ones((2, 2)))
+
+    def test_confidence_interval_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(100):
+            sample = rng.normal(10.0, 2.0, size=30)
+            _, low, high = mean_confidence_interval(sample, confidence=0.95)
+            if low <= 10.0 <= high:
+                hits += 1
+        assert hits >= 85  # ~95% coverage, generous slack
+
+    def test_confidence_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestBootstrap:
+    def test_bootstrap_interval_contains_point(self):
+        rng = np.random.default_rng(1)
+        sample = rng.exponential(2.0, size=50)
+        point, low, high = bootstrap_confidence_interval(sample, statistic=np.median, seed=0)
+        assert low <= point <= high
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_confidence_interval([1.0, 2.0], n_resamples=1)
+        with pytest.raises(ConfigurationError):
+            bootstrap_confidence_interval([1.0, 2.0], confidence=0.0)
+
+
+class TestWhpProbability:
+    def test_all_successes(self):
+        p, low, high = empirical_whp_probability(100, 100)
+        assert p == 1.0
+        assert 0.9 < low < 1.0
+        assert high == 1.0
+
+    def test_no_successes(self):
+        p, low, high = empirical_whp_probability(0, 50)
+        assert p == 0.0
+        assert low == pytest.approx(0.0, abs=1e-9)
+        assert high < 0.1
+
+    def test_half(self):
+        p, low, high = empirical_whp_probability(50, 100)
+        assert p == pytest.approx(0.5)
+        assert low < 0.5 < high
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            empirical_whp_probability(5, 0)
+        with pytest.raises(ConfigurationError):
+            empirical_whp_probability(11, 10)
+        with pytest.raises(ConfigurationError):
+            empirical_whp_probability(1, 10, confidence=0.0)
+
+
+class TestFitting:
+    def test_power_law_recovers_exponent(self):
+        x = np.array([10, 20, 40, 80, 160], dtype=float)
+        y = 3.0 * x**1.5
+        fit = fit_power_law(x, y)
+        assert fit.params["exponent"] == pytest.approx(1.5, abs=1e-6)
+        assert fit.params["coefficient"] == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert fit.predict(np.array([100.0]))[0] == pytest.approx(3.0 * 100**1.5, rel=1e-6)
+
+    def test_log_growth_recovers_coefficients(self):
+        x = np.array([16, 64, 256, 1024], dtype=float)
+        y = 2.5 * np.log(x) + 1.0
+        fit = fit_log_growth(x, y)
+        assert fit.params["coefficient"] == pytest.approx(2.5, abs=1e-9)
+        assert fit.params["intercept"] == pytest.approx(1.0, abs=1e-9)
+        assert fit.predict(np.array([100.0]))[0] == pytest.approx(2.5 * math.log(100) + 1.0)
+
+    def test_linear_fit(self):
+        x = np.array([1, 2, 3, 4], dtype=float)
+        y = 2.0 * x - 1.0
+        fit = fit_linear(x, y)
+        assert fit.params["slope"] == pytest.approx(2.0)
+        assert fit.params["intercept"] == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, -2.0], [2.0, 3.0])
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, 2.0], [2.0, -3.0])
+        with pytest.raises(ConfigurationError):
+            fit_linear([1.0, 2.0], [1.0])
+
+    def test_compare_models_prefers_true_law(self):
+        x = np.array([64, 128, 256, 512, 1024, 2048], dtype=float)
+        rng = np.random.default_rng(2)
+        y_log = 3.0 * np.log(x) + rng.normal(0, 0.05, size=x.size)
+        results = compare_growth_models(x, y_log)
+        assert "log" in results and "power" in results
+        best = min(results.items(), key=lambda item: item[1].residual_norm)
+        assert best[0] in ("log", "loglog")  # log-like laws fit a log signal best
+
+        y_lin = 0.5 * x + rng.normal(0, 0.5, size=x.size)
+        results = compare_growth_models(x, y_lin)
+        best = min(results.items(), key=lambda item: item[1].residual_norm)
+        assert best[0] in ("linear", "power")
+
+    def test_compare_models_requires_some_fit(self):
+        with pytest.raises(ConfigurationError):
+            compare_growth_models([1.0], [1.0])
+
+    def test_fit_result_unknown_model_prediction(self):
+        fit = fit_linear([1.0, 2.0], [1.0, 2.0])
+        object.__setattr__(fit, "model", "mystery")
+        with pytest.raises(ConfigurationError):
+            fit.predict(np.array([1.0]))

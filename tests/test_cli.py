@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _parse_overrides, build_parser, main
+from repro.errors import ReproError
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(
+            ["run", "E1", "--seed", "3", "-p", "sizes=[16]", "--markdown"]
+        )
+        assert args.command == "run"
+        assert args.experiment_id == "E1"
+        assert args.seed == 3
+        assert args.param == ["sizes=[16]"]
+        assert args.markdown
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestOverrideParsing:
+    def test_json_values(self):
+        overrides = _parse_overrides(["sizes=[16, 32]", "trials=3", "factor=1.5"])
+        assert overrides == {"sizes": [16, 32], "trials": 3, "factor": 1.5}
+
+    def test_string_fallback(self):
+        assert _parse_overrides(["adversary=concentrate"]) == {"adversary": "concentrate"}
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ReproError):
+            _parse_overrides(["oops"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E15" in out and "A1" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "E14"]) == 0
+        out = capsys.readouterr().out
+        assert "Appendix B" in out
+        assert "default params" in out
+
+    def test_describe_unknown_returns_error_code(self, capsys):
+        assert main(["describe", "E99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_small_experiment(self, capsys, tmp_path):
+        json_path = tmp_path / "e14.json"
+        csv_path = tmp_path / "e14.csv"
+        code = main(
+            [
+                "run",
+                "E14",
+                "-p",
+                "mc_sizes=[2]",
+                "-p",
+                "mc_trials=200",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Appendix B" in out
+        assert "note:" in out
+        assert json_path.exists() and csv_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["experiment_id"] == "E14"
+
+    def test_run_markdown_output(self, capsys):
+        code = main(["run", "E14", "-p", "mc_sizes=[2]", "-p", "mc_trials=100", "--markdown"])
+        assert code == 0
+        assert "| n |" in capsys.readouterr().out
+
+    def test_run_bad_parameter(self, capsys):
+        assert main(["run", "E1", "-p", "bogus=1"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,120 @@
+"""Unit tests for repro.core.coupling (the Lemma 3 coupling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import LoadConfiguration
+from repro.core.coupling import CoupledRun
+from repro.errors import ConfigurationError
+
+
+def make_sparse_config(n: int, seed: int = 0) -> LoadConfiguration:
+    """A configuration of n balls with at least n/2 empty bins.
+
+    The first half of the bins hold two balls each (plus the remainder in
+    bin 0 for odd n), so the Lemma 3 precondition of >= n/4 empty bins is
+    always satisfied regardless of the seed.
+    """
+    loads = np.zeros(n, dtype=np.int64)
+    loads[: n // 2] = 2
+    loads[0] += n - int(loads.sum())
+    return LoadConfiguration(loads)
+
+
+class TestConstruction:
+    def test_requires_enough_empty_bins_by_default(self):
+        full = LoadConfiguration.balanced(16)  # zero empty bins
+        with pytest.raises(ConfigurationError):
+            CoupledRun(16, initial=full, seed=0)
+
+    def test_precondition_can_be_disabled(self):
+        full = LoadConfiguration.balanced(16)
+        run = CoupledRun(16, initial=full, seed=0, enforce_precondition=False)
+        assert run.n_bins == 16
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoupledRun(8, initial=LoadConfiguration.balanced(4), seed=0)
+
+    def test_default_initial_is_random_one_shot(self):
+        run = CoupledRun(64, seed=0)
+        assert int(run.original_loads.sum()) == 64
+        assert np.array_equal(run.original_loads, run.tetris_loads)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoupledRun(0, seed=0)
+        with pytest.raises(ConfigurationError):
+            CoupledRun(8, initial=make_sparse_config(8), arrivals_per_round=-1, seed=0)
+
+
+class TestCouplingDynamics:
+    def test_both_processes_conserve_their_invariants(self):
+        n = 64
+        run = CoupledRun(n, initial=make_sparse_config(n), seed=1)
+        for _ in range(50):
+            run.step()
+            assert int(run.original_loads.sum()) == n  # original conserves balls
+            assert int(run.original_loads.min()) >= 0
+            assert int(run.tetris_loads.min()) >= 0
+
+    def test_domination_holds_from_shared_sparse_start(self):
+        n = 128
+        run = CoupledRun(n, initial=make_sparse_config(n, seed=2), seed=2)
+        result = run.run(2 * n)
+        assert result.domination_held
+        assert result.max_load_dominated
+        assert result.first_domination_failure is None
+
+    def test_case_ii_rare_in_normal_operation(self):
+        n = 128
+        run = CoupledRun(n, initial=make_sparse_config(n, seed=3), seed=3)
+        result = run.run(2 * n)
+        assert result.case_ii_rounds == []
+
+    def test_step_returns_coupled_flag(self):
+        n = 32
+        run = CoupledRun(n, initial=make_sparse_config(n, seed=4), seed=4)
+        assert run.step() is True
+
+    def test_case_ii_triggers_when_too_many_nonempty_bins(self):
+        # with arrivals_per_round=0 every round has more non-empty original
+        # bins than arrivals, forcing case (ii)
+        n = 16
+        run = CoupledRun(
+            n,
+            initial=make_sparse_config(n, seed=5),
+            seed=5,
+            arrivals_per_round=0,
+            enforce_precondition=False,
+        )
+        coupled = run.step()
+        assert coupled is False
+        result = run.run(3)
+        assert len(result.case_ii_rounds) == 3
+
+    def test_negative_rounds_rejected(self):
+        run = CoupledRun(16, initial=make_sparse_config(16), seed=0)
+        with pytest.raises(ConfigurationError):
+            run.run(-1)
+
+    def test_result_records_min_empty_bins(self):
+        n = 64
+        run = CoupledRun(n, initial=make_sparse_config(n, seed=6), seed=6)
+        result = run.run(n)
+        assert 0 <= result.min_empty_bins <= n
+
+    def test_domination_statistics_across_seeds(self):
+        # Lemma 3: domination should hold in essentially every trial.  The
+        # failure probability decays exponentially in n, so at n = 128 a
+        # failure among 15 trials would be a strong signal of a bug.
+        n = 128
+        held = 0
+        trials = 15
+        for seed in range(trials):
+            run = CoupledRun(n, initial=make_sparse_config(n, seed=seed), seed=seed)
+            if run.run(n).domination_held:
+                held += 1
+        assert held == trials

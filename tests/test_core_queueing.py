@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.queueing (queue disciplines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.queueing import (
+    FIFODiscipline,
+    LIFODiscipline,
+    QueueDiscipline,
+    RandomDiscipline,
+    SmallestIDDiscipline,
+    available_disciplines,
+    get_discipline,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSelections:
+    def test_fifo_selects_front(self, rng):
+        assert FIFODiscipline().select([10, 20, 30], rng) == 0
+
+    def test_lifo_selects_back(self, rng):
+        assert LIFODiscipline().select([10, 20, 30], rng) == 2
+
+    def test_lifo_single_element(self, rng):
+        assert LIFODiscipline().select([42], rng) == 0
+
+    def test_random_in_range(self, rng):
+        discipline = RandomDiscipline()
+        queue = [1, 2, 3, 4, 5]
+        picks = {discipline.select(queue, rng) for _ in range(200)}
+        assert picks <= set(range(5))
+        assert len(picks) == 5  # all positions eventually chosen
+
+    def test_random_single_element_fast_path(self, rng):
+        assert RandomDiscipline().select([7], rng) == 0
+
+    def test_smallest_id(self, rng):
+        assert SmallestIDDiscipline().select([30, 10, 20], rng) == 1
+        assert SmallestIDDiscipline().select([5], rng) == 0
+
+    def test_disciplines_do_not_mutate_queue(self, rng):
+        queue = [3, 1, 2]
+        for discipline in (FIFODiscipline(), LIFODiscipline(), RandomDiscipline(), SmallestIDDiscipline()):
+            discipline.select(queue, rng)
+            assert queue == [3, 1, 2]
+
+
+class TestRegistry:
+    def test_available_names(self):
+        names = available_disciplines()
+        assert names == sorted(names)
+        assert {"fifo", "lifo", "random", "smallest_id"} <= set(names)
+
+    def test_get_by_name_case_insensitive(self):
+        assert isinstance(get_discipline("FIFO"), FIFODiscipline)
+        assert isinstance(get_discipline("lifo"), LIFODiscipline)
+
+    def test_get_by_class(self):
+        assert isinstance(get_discipline(RandomDiscipline), RandomDiscipline)
+
+    def test_get_by_instance_passthrough(self):
+        instance = SmallestIDDiscipline()
+        assert get_discipline(instance) is instance
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_discipline("priority")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_discipline(42)
+
+    def test_all_registered_are_disciplines(self):
+        for name in available_disciplines():
+            assert isinstance(get_discipline(name), QueueDiscipline)

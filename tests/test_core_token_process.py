@@ -1,0 +1,193 @@
+"""Unit tests for repro.core.token_process (identity-tracking process)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import LoadConfiguration
+from repro.core.token_process import TokenRepeatedBallsIntoBins
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_default_placement_one_per_bin(self):
+        process = TokenRepeatedBallsIntoBins(8, seed=0)
+        assert process.n_balls == 8
+        assert process.loads.tolist() == [1] * 8
+        assert process.ball_bins.tolist() == list(range(8))
+
+    def test_more_balls_than_bins_wraps_around(self):
+        process = TokenRepeatedBallsIntoBins(4, n_balls=10, seed=0)
+        assert process.n_balls == 10
+        assert int(process.loads.sum()) == 10
+
+    def test_initial_load_configuration(self):
+        initial = LoadConfiguration.from_loads([3, 0, 1, 0])
+        process = TokenRepeatedBallsIntoBins(4, initial=initial, seed=0)
+        assert process.loads.tolist() == [3, 0, 1, 0]
+        assert process.max_load == 3
+
+    def test_inconsistent_ball_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenRepeatedBallsIntoBins(
+                4, n_balls=7, initial=LoadConfiguration.balanced(4), seed=0
+            )
+
+    def test_wrong_bin_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenRepeatedBallsIntoBins(8, initial=LoadConfiguration.balanced(4), seed=0)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenRepeatedBallsIntoBins(0)
+        with pytest.raises(ConfigurationError):
+            TokenRepeatedBallsIntoBins(4, n_balls=-1)
+
+    def test_visit_tracking_off_by_default(self):
+        process = TokenRepeatedBallsIntoBins(8, seed=0)
+        assert process.visited_counts is None
+        with pytest.raises(ConfigurationError):
+            _ = process.cover_time
+
+
+class TestDynamics:
+    def test_conservation_and_consistency(self):
+        process = TokenRepeatedBallsIntoBins(16, seed=1)
+        for _ in range(100):
+            loads = process.step()
+            assert int(loads.sum()) == 16
+            # loads always consistent with per-ball positions
+            recomputed = np.bincount(process.ball_bins, minlength=16)
+            assert np.array_equal(recomputed, loads)
+
+    def test_deterministic_given_seed(self):
+        a = TokenRepeatedBallsIntoBins(16, seed=5)
+        b = TokenRepeatedBallsIntoBins(16, seed=5)
+        for _ in range(30):
+            a.step()
+            b.step()
+            assert np.array_equal(a.ball_bins, b.ball_bins)
+
+    def test_moves_and_waiting_account_for_every_round(self):
+        process = TokenRepeatedBallsIntoBins(8, n_balls=16, seed=2)
+        rounds = 40
+        process.run(rounds)
+        # every ball is, in each round, either selected (a move) or waiting
+        totals = process.moves + process.waiting_rounds
+        assert np.all(totals == rounds)
+
+    def test_moves_match_load_process_departures(self):
+        process = TokenRepeatedBallsIntoBins(8, seed=3)
+        total_departures = 0
+        for _ in range(20):
+            nonempty = int(np.count_nonzero(process.loads > 0))
+            process.step()
+            total_departures += nonempty
+        assert int(process.moves.sum()) == total_departures
+
+    def test_empty_system(self):
+        process = TokenRepeatedBallsIntoBins(4, n_balls=0, seed=0)
+        process.step()
+        assert process.loads.tolist() == [0, 0, 0, 0]
+
+
+class TestDisciplines:
+    def test_fifo_order_respected_in_deterministic_scenario(self):
+        # two balls in bin 0, nothing else; FIFO must move ball 0 first.
+        initial = LoadConfiguration.from_loads([2, 0])
+        process = TokenRepeatedBallsIntoBins(2, discipline="fifo", initial=initial, seed=0)
+        process.step()
+        assert process.moves[0] == 1
+        assert process.moves[1] == 0
+
+    def test_lifo_order_respected_in_deterministic_scenario(self):
+        initial = LoadConfiguration.from_loads([2, 0])
+        process = TokenRepeatedBallsIntoBins(2, discipline="lifo", initial=initial, seed=0)
+        process.step()
+        assert process.moves[1] == 1
+        assert process.moves[0] == 0
+
+    def test_smallest_id_starves_large_ids(self):
+        initial = LoadConfiguration.from_loads([4, 0, 0, 0])
+        process = TokenRepeatedBallsIntoBins(4, discipline="smallest_id", initial=initial, seed=0)
+        process.step()
+        assert process.moves[0] == 1
+        assert process.moves[3] == 0
+
+    @pytest.mark.parametrize("discipline", ["fifo", "lifo", "random", "smallest_id"])
+    def test_all_disciplines_conserve_balls(self, discipline):
+        process = TokenRepeatedBallsIntoBins(16, discipline=discipline, seed=7)
+        result = process.run(50)
+        assert int(process.loads.sum()) == 16
+        assert result.rounds == 50
+
+    def test_load_statistics_match_anonymous_process_in_distribution(self):
+        """The token-level process must agree with the anonymous simulator on
+        load statistics (same dynamics, different bookkeeping)."""
+        from repro.core.process import RepeatedBallsIntoBins
+
+        n = 64
+        rounds = 200
+        token_max = TokenRepeatedBallsIntoBins(n, seed=123).run(rounds).max_load_seen
+        anon_max = RepeatedBallsIntoBins(n, seed=123).run(rounds).max_load_seen
+        # not identical trajectories (different RNG consumption), but the same
+        # order of magnitude: both should be well below 6 log n
+        assert token_max <= 6 * np.log(n)
+        assert anon_max <= 6 * np.log(n)
+
+
+class TestCoverTracking:
+    def test_cover_time_reached_for_tiny_system(self):
+        process = TokenRepeatedBallsIntoBins(4, track_visits=True, seed=0)
+        cover = process.run_until_covered(max_rounds=4000)
+        assert cover is not None
+        assert process.all_covered
+        assert process.cover_time == cover
+        assert np.all(process.visited_counts == 4)
+
+    def test_visit_counts_monotone(self):
+        process = TokenRepeatedBallsIntoBins(8, track_visits=True, seed=1)
+        previous = process.visited_counts.copy()
+        for _ in range(50):
+            process.step()
+            current = process.visited_counts
+            assert np.all(current >= previous)
+            previous = current.copy()
+
+    def test_single_bin_system_trivially_covered(self):
+        process = TokenRepeatedBallsIntoBins(1, track_visits=True, seed=0)
+        assert process.all_covered
+        assert process.cover_time == 0
+
+    def test_stop_when_covered_requires_tracking(self):
+        process = TokenRepeatedBallsIntoBins(4, seed=0)
+        with pytest.raises(ConfigurationError):
+            process.run(10, stop_when_covered=True)
+
+    def test_ball_cover_times_in_result(self):
+        process = TokenRepeatedBallsIntoBins(4, track_visits=True, seed=2)
+        result = process.run(4000, stop_when_covered=True)
+        assert result.cover_time is not None
+        assert result.ball_cover_times is not None
+        assert int(result.ball_cover_times.max()) == result.cover_time
+        assert np.all(result.ball_cover_times >= 0)
+
+
+class TestRun:
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenRepeatedBallsIntoBins(4, seed=0).run(-1)
+
+    def test_observer_sees_every_round(self):
+        rounds_seen = []
+        TokenRepeatedBallsIntoBins(8, seed=0).run(
+            7, observers=lambda t, loads: rounds_seen.append(t)
+        )
+        assert rounds_seen == list(range(1, 8))
+
+    def test_result_min_moves(self):
+        process = TokenRepeatedBallsIntoBins(8, seed=0)
+        result = process.run(30)
+        assert result.min_moves == int(process.moves.min())
+        assert result.max_load_seen >= 1

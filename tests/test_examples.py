@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the quickstart (the cheapest one) is
+additionally executed end to end at a reduced size so that documentation rot
+is caught by the test-suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "scripts"
+
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        assert len(ALL_EXAMPLES) >= 3
+
+    def test_quickstart_present(self):
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_examples_compile(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_examples_have_module_docstring(self, path):
+        source = path.read_text()
+        assert source.lstrip().startswith(('"""', '#!/usr/bin/env python\n"""')), path.name
+
+    def test_report_script_compiles(self):
+        py_compile.compile(str(SCRIPTS_DIR / "generate_experiments_report.py"), doraise=True)
+
+
+class TestQuickstartRuns:
+    def test_quickstart_small_n(self):
+        """Run the quickstart end to end with a small n; it must exit 0 and
+        print both Theorem 1 sections."""
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py"), "128"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "stability" in completed.stdout
+        assert "self-stabilization" in completed.stdout
+        assert "Theorem 1" in completed.stdout

@@ -1,0 +1,157 @@
+"""Unit tests for repro.graphs.topology and repro.graphs.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    from_networkx,
+    hypercube_graph,
+    random_regular_graph,
+    star_graph,
+    torus_grid_graph,
+)
+from repro.graphs.topology import Topology
+
+
+class TestTopology:
+    def test_basic_properties(self):
+        topo = Topology([[1], [0, 2], [1]], name="path")
+        assert topo.num_nodes == 3
+        assert topo.name == "path"
+        assert topo.degrees.tolist() == [1, 2, 1]
+        assert not topo.is_regular
+        assert topo.degree is None
+
+    def test_regular_detection(self):
+        topo = Topology([[1, 2], [0, 2], [0, 1]])
+        assert topo.is_regular
+        assert topo.degree == 2
+
+    def test_neighbors_of(self):
+        topo = Topology([[1, 2], [0], [0]])
+        assert topo.neighbors_of(0).tolist() == [1, 2]
+        with pytest.raises(GraphError):
+            topo.neighbors_of(5)
+
+    def test_edge_list(self):
+        topo = Topology([[1], [0]])
+        assert set(topo.edge_list()) == {(0, 1), (1, 0)}
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            Topology([])
+        with pytest.raises(GraphError):
+            Topology([[1], []])  # node 1 has no neighbors
+        with pytest.raises(GraphError):
+            Topology([[5], [0]])  # out-of-range neighbor
+
+    def test_sample_neighbors_respects_adjacency(self, rng):
+        topo = Topology([[1, 2], [0], [0]])
+        nodes = np.array([0] * 100 + [1] * 50 + [2] * 50)
+        samples = topo.sample_neighbors(nodes, rng)
+        assert samples.shape == nodes.shape
+        assert set(samples[:100].tolist()) <= {1, 2}
+        assert set(samples[100:].tolist()) == {0}
+
+    def test_sample_neighbors_uniform(self, rng):
+        topo = Topology([[1, 2, 3], [0], [0], [0]])
+        samples = topo.sample_neighbors(np.zeros(6000, dtype=np.int64), rng)
+        counts = np.bincount(samples, minlength=4)
+        # roughly uniform over the three neighbors of node 0
+        assert counts[0] == 0
+        assert np.all(np.abs(counts[1:] - 2000) < 300)
+
+    def test_is_connected(self):
+        assert Topology([[1], [0]]).is_connected()
+        disconnected = Topology([[1], [0], [3], [2]])
+        assert not disconnected.is_connected()
+
+
+class TestGenerators:
+    def test_complete_graph_with_self_loops(self):
+        topo = complete_graph(5)
+        assert topo.num_nodes == 5
+        assert topo.is_regular
+        assert topo.degree == 5  # includes the self-loop
+        assert 0 in topo.neighbors_of(0).tolist()
+
+    def test_complete_graph_without_self_loops(self):
+        topo = complete_graph(5, include_self_loops=False)
+        assert topo.degree == 4
+        assert 0 not in topo.neighbors_of(0).tolist()
+
+    def test_complete_graph_single_node(self):
+        topo = complete_graph(1)
+        assert topo.num_nodes == 1
+        assert topo.neighbors_of(0).tolist() == [0]
+
+    def test_cycle_graph(self):
+        topo = cycle_graph(6)
+        assert topo.is_regular
+        assert topo.degree == 2
+        assert topo.is_connected()
+        assert sorted(topo.neighbors_of(0).tolist()) == [1, 5]
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_torus_grid(self):
+        topo = torus_grid_graph(4, 5)
+        assert topo.num_nodes == 20
+        assert topo.is_regular
+        assert topo.degree == 4
+        assert topo.is_connected()
+        with pytest.raises(GraphError):
+            torus_grid_graph(2, 5)
+
+    def test_torus_square_default(self):
+        assert torus_grid_graph(4).num_nodes == 16
+
+    def test_hypercube(self):
+        topo = hypercube_graph(4)
+        assert topo.num_nodes == 16
+        assert topo.is_regular
+        assert topo.degree == 4
+        assert topo.is_connected()
+        # neighbors differ in exactly one bit
+        for v in topo.neighbors_of(0):
+            assert bin(int(v)).count("1") == 1
+        with pytest.raises(GraphError):
+            hypercube_graph(0)
+
+    def test_random_regular(self):
+        topo = random_regular_graph(20, degree=4, seed=0)
+        assert topo.num_nodes == 20
+        assert topo.is_regular
+        assert topo.degree == 4
+        assert topo.is_connected()
+
+    def test_random_regular_validation(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(2, degree=4)
+        with pytest.raises(GraphError):
+            random_regular_graph(9, degree=3)  # odd n * degree
+        with pytest.raises(GraphError):
+            random_regular_graph(10, degree=1)
+
+    def test_star_graph(self):
+        topo = star_graph(6)
+        assert topo.num_nodes == 6
+        assert not topo.is_regular
+        assert topo.degrees.tolist() == [5, 1, 1, 1, 1, 1]
+        with pytest.raises(GraphError):
+            star_graph(1)
+
+    def test_from_networkx(self):
+        import networkx as nx
+
+        topo = from_networkx(nx.path_graph(4), name="path")
+        assert topo.num_nodes == 4
+        assert topo.name == "path"
+        assert topo.degrees.tolist() == [1, 2, 2, 1]
+        with pytest.raises(GraphError):
+            from_networkx(nx.Graph())

@@ -1,0 +1,121 @@
+"""Unit tests for repro.graphs.walks (constrained parallel random walks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import LoadConfiguration
+from repro.core.process import RepeatedBallsIntoBins
+from repro.errors import ConfigurationError
+from repro.graphs.generators import complete_graph, cycle_graph, star_graph
+from repro.graphs.walks import ConstrainedParallelWalks
+
+
+class TestConstruction:
+    def test_default_one_token_per_node(self):
+        walks = ConstrainedParallelWalks(cycle_graph(8), seed=0)
+        assert walks.n_tokens == 8
+        assert walks.loads.tolist() == [1] * 8
+
+    def test_custom_token_count(self):
+        walks = ConstrainedParallelWalks(cycle_graph(8), n_tokens=20, seed=0)
+        assert walks.n_tokens == 20
+        assert int(walks.loads.sum()) == 20
+
+    def test_initial_configuration(self):
+        initial = LoadConfiguration.all_in_one(8)
+        walks = ConstrainedParallelWalks(cycle_graph(8), initial=initial, seed=0)
+        assert walks.max_load == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstrainedParallelWalks(cycle_graph(8), initial=LoadConfiguration.balanced(4))
+        with pytest.raises(ConfigurationError):
+            ConstrainedParallelWalks(cycle_graph(8), n_tokens=-1)
+        with pytest.raises(ConfigurationError):
+            ConstrainedParallelWalks(
+                cycle_graph(8), n_tokens=5, initial=LoadConfiguration.balanced(8)
+            )
+
+
+class TestDynamics:
+    def test_token_conservation_constrained(self):
+        walks = ConstrainedParallelWalks(cycle_graph(16), seed=1)
+        for _ in range(100):
+            loads = walks.step()
+            assert int(loads.sum()) == 16
+            assert int(loads.min()) >= 0
+
+    def test_token_conservation_unconstrained(self):
+        walks = ConstrainedParallelWalks(cycle_graph(16), constrained=False, seed=1)
+        for _ in range(100):
+            assert int(walks.step().sum()) == 16
+
+    def test_tokens_stay_on_neighbors_cycle(self):
+        # on a cycle with a single token, the token must move to an adjacent node
+        initial = LoadConfiguration.from_loads([1, 0, 0, 0, 0, 0])
+        walks = ConstrainedParallelWalks(cycle_graph(6), initial=initial, seed=2)
+        position = 0
+        for _ in range(30):
+            loads = walks.step()
+            new_position = int(np.flatnonzero(loads)[0])
+            assert new_position in ((position - 1) % 6, (position + 1) % 6)
+            position = new_position
+
+    def test_deterministic_given_seed(self):
+        a = ConstrainedParallelWalks(cycle_graph(12), seed=5)
+        b = ConstrainedParallelWalks(cycle_graph(12), seed=5)
+        for _ in range(20):
+            assert np.array_equal(a.step(), b.step())
+
+    def test_complete_graph_matches_rbb_statistics(self):
+        """On the clique with self-loops the constrained walks are exactly the
+        repeated balls-into-bins process; check the empty-bin statistics agree."""
+        n = 128
+        rounds = 200
+        walks = ConstrainedParallelWalks(complete_graph(n), seed=3)
+        rbb = RepeatedBallsIntoBins(n, seed=4)
+        walk_empty = []
+        rbb_empty = []
+        for _ in range(rounds):
+            walk_empty.append(int(np.count_nonzero(walks.step() == 0)))
+            rbb_empty.append(int(np.count_nonzero(rbb.step() == 0)))
+        # same process, different seeds: means agree within a few percent of n
+        assert abs(np.mean(walk_empty) - np.mean(rbb_empty)) < 0.05 * n
+
+    def test_star_graph_congests_the_hub(self):
+        walks = ConstrainedParallelWalks(star_graph(32), seed=6)
+        result = walks.run(64)
+        # every leaf forwards to the hub, so the hub accumulates far more than log n
+        assert result.max_load_seen > 8
+
+
+class TestRun:
+    def test_result_fields(self):
+        walks = ConstrainedParallelWalks(cycle_graph(16), seed=0)
+        result = walks.run(30)
+        assert result.rounds == 30
+        assert result.final_configuration.n_bins == 16
+        assert result.max_load_seen >= 1
+        assert 0 <= result.min_empty_nodes_seen <= 16
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstrainedParallelWalks(cycle_graph(8), seed=0).run(-1)
+
+    def test_observer_called(self):
+        calls = []
+        ConstrainedParallelWalks(cycle_graph(8), seed=0).run(
+            5, observers=lambda t, loads: calls.append(t)
+        )
+        assert calls == [1, 2, 3, 4, 5]
+
+    def test_ring_accumulates_more_than_clique(self):
+        """The Section 5 phenomenon at small scale: over the same window the
+        ring shows at least as much congestion as the clique (usually more)."""
+        n = 64
+        rounds = 8 * n
+        ring = ConstrainedParallelWalks(cycle_graph(n), seed=7).run(rounds).max_load_seen
+        clique = ConstrainedParallelWalks(complete_graph(n), seed=7).run(rounds).max_load_seen
+        assert ring >= clique - 1

@@ -1,0 +1,147 @@
+"""Unit tests for repro.markov.absorbing (the Lemma 5 chain)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov.absorbing import BinLoadChain, absorption_tail_bound
+
+
+class TestAbsorptionTailBound:
+    def test_formula(self):
+        assert absorption_tail_bound(144, 0) == pytest.approx(math.exp(-1.0))
+        assert absorption_tail_bound(0, 0) == pytest.approx(1.0)
+
+    def test_trivial_bound_below_8k(self):
+        assert absorption_tail_bound(7, 1) == 1.0
+        assert absorption_tail_bound(8, 1) == pytest.approx(math.exp(-8 / 144))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            absorption_tail_bound(10, -1)
+
+
+class TestBinLoadChain:
+    def test_default_arrivals(self):
+        chain = BinLoadChain(100)
+        assert chain.arrivals == 75
+        assert chain.n_bins == 100
+
+    def test_drift_is_negative(self):
+        chain = BinLoadChain(1000)
+        assert chain.drift == pytest.approx(0.75 * 1000 / 1000 - 1.0)
+        assert chain.drift < 0
+
+    def test_arrival_pmf_sums_to_one(self):
+        pmf = BinLoadChain(64).arrival_pmf
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+
+    def test_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            BinLoadChain(0)
+        with pytest.raises(ConfigurationError):
+            BinLoadChain(10, arrivals=-1)
+
+
+class TestSurvivalProbabilities:
+    def test_start_zero_is_immediately_absorbed(self):
+        chain = BinLoadChain(64)
+        survival = chain.survival_probabilities(0, horizon=5)
+        assert survival.tolist() == [0.0] * 6
+
+    def test_monotone_non_increasing(self):
+        chain = BinLoadChain(256)
+        survival = chain.survival_probabilities(4, horizon=80)
+        assert np.all(np.diff(survival) <= 1e-12)
+
+    def test_starts_at_one_for_positive_start(self):
+        chain = BinLoadChain(256)
+        survival = chain.survival_probabilities(3, horizon=10)
+        assert survival[0] == pytest.approx(1.0)
+
+    def test_cannot_be_absorbed_before_start_rounds(self):
+        # the chain decreases by at most one per round, so absorption before
+        # round k is impossible when starting from k
+        chain = BinLoadChain(128)
+        k = 6
+        survival = chain.survival_probabilities(k, horizon=20)
+        assert np.all(survival[:k] == pytest.approx(1.0))
+
+    def test_respects_lemma5_bound(self):
+        chain = BinLoadChain(512)
+        for k in (1, 3, 8):
+            horizon = 8 * k + 200
+            survival = chain.survival_probabilities(k, horizon=horizon)
+            for t in range(8 * k, horizon + 1):
+                assert survival[t] <= absorption_tail_bound(t, k) + 1e-12
+
+    def test_validation(self):
+        chain = BinLoadChain(64)
+        with pytest.raises(ConfigurationError):
+            chain.survival_probabilities(-1, horizon=5)
+        with pytest.raises(ConfigurationError):
+            chain.survival_probabilities(1, horizon=-5)
+
+    def test_expected_absorption_time_closed_form(self):
+        chain = BinLoadChain(1000)  # arrivals 750, drift -0.25
+        assert chain.expected_absorption_time(5) == pytest.approx(5 / 0.25)
+        assert chain.expected_absorption_time(0) == 0.0
+
+    def test_expected_absorption_time_infinite_without_drift(self):
+        chain = BinLoadChain(100, arrivals=100)
+        assert math.isinf(chain.expected_absorption_time(1))
+
+
+class TestSimulation:
+    def test_simulate_from_zero(self):
+        chain = BinLoadChain(64)
+        assert chain.simulate_absorption_time(0, max_rounds=10, seed=0) == 0
+
+    def test_simulated_time_at_least_start(self):
+        chain = BinLoadChain(64)
+        for seed in range(10):
+            tau = chain.simulate_absorption_time(5, max_rounds=10_000, seed=seed)
+            assert tau is not None
+            assert tau >= 5
+
+    def test_censoring(self):
+        # with arrivals == n the drift is zero and absorption from a high
+        # start within very few rounds is impossible
+        chain = BinLoadChain(16, arrivals=16)
+        assert chain.simulate_absorption_time(10, max_rounds=3, seed=0) is None
+
+    def test_simulate_many(self):
+        chain = BinLoadChain(64)
+        taus = chain.simulate_absorption_times(2, trials=50, max_rounds=5000, seed=1)
+        assert taus.shape == (50,)
+        assert np.all(taus >= 2)
+
+    def test_empirical_survival_matches_exact_roughly(self):
+        chain = BinLoadChain(128)
+        k = 3
+        horizon = 60
+        exact = chain.survival_probabilities(k, horizon)
+        empirical = chain.empirical_survival(k, trials=800, horizon=horizon, seed=2)
+        assert empirical.shape == (horizon + 1,)
+        # agreement within Monte-Carlo noise at a few probe points
+        for t in (5, 10, 20):
+            assert abs(empirical[t] - exact[t]) < 0.08
+
+    def test_mean_absorption_time_matches_walds_identity(self):
+        chain = BinLoadChain(400)  # drift -0.25
+        k = 4
+        taus = chain.simulate_absorption_times(k, trials=600, max_rounds=10_000, seed=3)
+        assert np.all(taus > 0)
+        assert abs(float(taus.mean()) - chain.expected_absorption_time(k)) < 3.0
+
+    def test_validation(self):
+        chain = BinLoadChain(64)
+        with pytest.raises(ConfigurationError):
+            chain.simulate_absorption_time(-1, max_rounds=10)
+        with pytest.raises(ConfigurationError):
+            chain.simulate_absorption_times(1, trials=-1, max_rounds=10)

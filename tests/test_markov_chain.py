@@ -1,0 +1,143 @@
+"""Unit tests for repro.markov.chain (generic finite DTMC tools)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov.chain import FiniteMarkovChain
+
+
+@pytest.fixture
+def two_state_chain() -> FiniteMarkovChain:
+    """A simple ergodic two-state chain with known stationary distribution."""
+    P = np.array([[0.9, 0.1], [0.3, 0.7]])
+    return FiniteMarkovChain(P, state_labels=["a", "b"])
+
+
+@pytest.fixture
+def absorbing_chain() -> FiniteMarkovChain:
+    """A three-state chain where state 0 is absorbing."""
+    P = np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.5, 0.25, 0.25],
+            [0.0, 0.5, 0.5],
+        ]
+    )
+    return FiniteMarkovChain(P)
+
+
+class TestConstruction:
+    def test_basic_properties(self, two_state_chain):
+        assert two_state_chain.num_states == 2
+        assert two_state_chain.state_labels == ["a", "b"]
+        assert two_state_chain.index_of("b") == 1
+
+    def test_unknown_label(self, two_state_chain):
+        with pytest.raises(ConfigurationError):
+            two_state_chain.index_of("c")
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            FiniteMarkovChain(np.ones((2, 3)) / 3)
+
+    def test_rejects_bad_row_sums(self):
+        with pytest.raises(ConfigurationError):
+            FiniteMarkovChain(np.array([[0.5, 0.2], [0.5, 0.5]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ConfigurationError):
+            FiniteMarkovChain(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(ConfigurationError):
+            FiniteMarkovChain(np.eye(2), state_labels=["only-one"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            FiniteMarkovChain(np.zeros((0, 0)))
+
+    def test_transition_matrix_copy(self, two_state_chain):
+        P = two_state_chain.transition_matrix
+        P[0, 0] = 0.0
+        assert two_state_chain.transition_matrix[0, 0] == pytest.approx(0.9)
+
+
+class TestDistributions:
+    def test_step_distribution(self, two_state_chain):
+        mu0 = np.array([1.0, 0.0])
+        mu1 = two_state_chain.step_distribution(mu0)
+        assert mu1 == pytest.approx(np.array([0.9, 0.1]))
+        mu2 = two_state_chain.step_distribution(mu0, steps=2)
+        assert mu2.sum() == pytest.approx(1.0)
+
+    def test_step_distribution_validation(self, two_state_chain):
+        with pytest.raises(ConfigurationError):
+            two_state_chain.step_distribution(np.array([1.0, 0.0, 0.0]))
+        with pytest.raises(ConfigurationError):
+            two_state_chain.step_distribution(np.array([1.0, 0.0]), steps=-1)
+
+    def test_k_step_matrix(self, two_state_chain):
+        P2 = two_state_chain.k_step_matrix(2)
+        assert P2 == pytest.approx(
+            two_state_chain.transition_matrix @ two_state_chain.transition_matrix
+        )
+        assert two_state_chain.k_step_matrix(0) == pytest.approx(np.eye(2))
+
+    def test_stationary_distribution(self, two_state_chain):
+        pi = two_state_chain.stationary_distribution()
+        # solve by hand: pi = (0.75, 0.25)
+        assert pi == pytest.approx(np.array([0.75, 0.25]), abs=1e-8)
+        assert pi @ two_state_chain.transition_matrix == pytest.approx(pi, abs=1e-8)
+
+
+class TestHittingAndAbsorption:
+    def test_expected_hitting_times_two_state(self, two_state_chain):
+        h = two_state_chain.expected_hitting_times(["a"])
+        assert h[0] == pytest.approx(0.0)
+        # from b: geometric with success probability 0.3 -> expectation 1/0.3
+        assert h[1] == pytest.approx(1.0 / 0.3)
+
+    def test_expected_hitting_times_all_targets(self, two_state_chain):
+        h = two_state_chain.expected_hitting_times(["a", "b"])
+        assert h.tolist() == [0.0, 0.0]
+
+    def test_hitting_requires_targets(self, two_state_chain):
+        with pytest.raises(ConfigurationError):
+            two_state_chain.expected_hitting_times([])
+
+    def test_absorption_probabilities(self, absorbing_chain):
+        probs = absorbing_chain.absorption_probabilities([0])
+        # the chain is eventually absorbed from every state
+        assert probs == pytest.approx(np.ones(3), abs=1e-8)
+
+    def test_absorption_from_unreachable_state(self):
+        # state 2 never reaches state 0
+        P = np.array([[1.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.0, 0.0, 1.0]])
+        chain = FiniteMarkovChain(P)
+        probs = chain.absorption_probabilities([0])
+        assert probs[1] == pytest.approx(1.0, abs=1e-8)
+        assert probs[2] == pytest.approx(0.0, abs=1e-8)
+
+
+class TestSimulation:
+    def test_sample_path_length_and_labels(self, two_state_chain):
+        path = two_state_chain.sample_path("a", length=10, seed=0)
+        assert len(path) == 11
+        assert set(path) <= {"a", "b"}
+        assert path[0] == "a"
+
+    def test_sample_path_deterministic(self, two_state_chain):
+        p1 = two_state_chain.sample_path("a", length=20, seed=42)
+        p2 = two_state_chain.sample_path("a", length=20, seed=42)
+        assert p1 == p2
+
+    def test_sample_path_validation(self, two_state_chain):
+        with pytest.raises(ConfigurationError):
+            two_state_chain.sample_path("a", length=-1)
+
+    def test_absorbing_path_stays_absorbed(self, absorbing_chain):
+        path = absorbing_chain.sample_path(0, length=5, seed=0)
+        assert path == [0] * 6

@@ -1,0 +1,169 @@
+"""Unit tests for repro.markov.small_n (exact small-system analysis, Appendix B)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov.small_n import (
+    appendix_b_counterexample,
+    arrival_joint_distribution_n2,
+    enumerate_configurations,
+    exact_rbb_chain,
+    exact_rbb_transition_matrix,
+)
+
+
+class TestEnumeration:
+    def test_counts_match_stars_and_bars(self):
+        # C(m + n - 1, n - 1)
+        assert len(enumerate_configurations(2, 2)) == 3
+        assert len(enumerate_configurations(3, 3)) == 10
+        assert len(enumerate_configurations(4, 3)) == 15
+
+    def test_every_configuration_sums_to_m(self):
+        for config in enumerate_configurations(3, 3):
+            assert sum(config) == 3
+            assert len(config) == 3
+
+    def test_configurations_unique(self):
+        configs = enumerate_configurations(4, 4)
+        assert len(configs) == len(set(configs))
+
+    def test_zero_balls(self):
+        assert enumerate_configurations(0, 3) == [(0, 0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_configurations(1, 0)
+        with pytest.raises(ConfigurationError):
+            enumerate_configurations(-1, 2)
+
+
+class TestExactTransitionMatrix:
+    def test_rows_are_stochastic(self):
+        P, states = exact_rbb_transition_matrix(3)
+        assert P.shape == (len(states), len(states))
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0)
+
+    def test_n2_transition_probabilities_by_hand(self):
+        P, states = exact_rbb_transition_matrix(2)
+        index = {s: i for i, s in enumerate(states)}
+        # from (1,1): both balls re-thrown independently; outcomes
+        # (2,0) w.p. 1/4, (0,2) w.p. 1/4, (1,1) w.p. 1/2
+        row = P[index[(1, 1)]]
+        assert row[index[(2, 0)]] == pytest.approx(0.25)
+        assert row[index[(0, 2)]] == pytest.approx(0.25)
+        assert row[index[(1, 1)]] == pytest.approx(0.5)
+        # from (2,0): only one ball moves; (1,1) w.p. 1/2, (2,0) w.p. 1/2
+        row = P[index[(2, 0)]]
+        assert row[index[(1, 1)]] == pytest.approx(0.5)
+        assert row[index[(2, 0)]] == pytest.approx(0.5)
+        assert row[index[(0, 2)]] == pytest.approx(0.0)
+
+    def test_symmetry_of_stationary_distribution(self):
+        chain = exact_rbb_chain(2)
+        pi = chain.stationary_distribution()
+        labels = chain.state_labels
+        index = {s: i for i, s in enumerate(labels)}
+        # bins are exchangeable: pi(2,0) == pi(0,2)
+        assert pi[index[(2, 0)]] == pytest.approx(pi[index[(0, 2)]], abs=1e-8)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_n3_stationary_is_exchangeable(self):
+        chain = exact_rbb_chain(3)
+        pi = chain.stationary_distribution()
+        labels = chain.state_labels
+        index = {s: i for i, s in enumerate(labels)}
+        assert pi[index[(3, 0, 0)]] == pytest.approx(pi[index[(0, 0, 3)]], abs=1e-6)
+        assert pi[index[(2, 1, 0)]] == pytest.approx(pi[index[(0, 1, 2)]], abs=1e-6)
+
+    def test_ball_count_preserved_by_support(self):
+        P, states = exact_rbb_transition_matrix(2, n_balls=3)
+        for i, config in enumerate(states):
+            for j, target in enumerate(states):
+                if P[i, j] > 0:
+                    assert sum(target) == sum(config)
+
+
+class TestAppendixB:
+    def test_exact_counterexample_values(self):
+        values = appendix_b_counterexample()
+        assert values["p_x1_0"] == pytest.approx(1 / 4)
+        assert values["p_x2_0"] == pytest.approx(3 / 8)
+        assert values["p_joint_00"] == pytest.approx(1 / 8)
+        assert values["product"] == pytest.approx(3 / 32)
+        assert values["violates_negative_association"] == 1.0
+
+    def test_joint_distribution_is_a_pmf(self):
+        joint = arrival_joint_distribution_n2(rounds=2)
+        assert sum(joint.values()) == pytest.approx(1.0)
+        assert all(p >= 0 for p in joint.values())
+        # arrivals per round at one bin of a 2-bin system are at most 2
+        assert all(max(history) <= 2 for history in joint)
+
+    def test_single_round_marginal(self):
+        joint = arrival_joint_distribution_n2(rounds=1)
+        # X1 ~ Binomial(2, 1/2): P(0)=1/4, P(1)=1/2, P(2)=1/4
+        assert joint[(0,)] == pytest.approx(1 / 4)
+        assert joint[(1,)] == pytest.approx(1 / 2)
+        assert joint[(2,)] == pytest.approx(1 / 4)
+
+    def test_observed_bin_symmetry(self):
+        joint0 = arrival_joint_distribution_n2(observed_bin=0, rounds=2)
+        joint1 = arrival_joint_distribution_n2(observed_bin=1, rounds=2)
+        for key, value in joint0.items():
+            assert joint1[key] == pytest.approx(value)
+
+    def test_three_round_distribution_consistent(self):
+        joint3 = arrival_joint_distribution_n2(rounds=3)
+        assert sum(joint3.values()) == pytest.approx(1.0)
+        # marginalizing the third round recovers the two-round joint
+        joint2 = arrival_joint_distribution_n2(rounds=2)
+        marginal = {}
+        for (x1, x2, _x3), p in joint3.items():
+            marginal[(x1, x2)] = marginal.get((x1, x2), 0.0) + p
+        for key, value in joint2.items():
+            assert marginal[key] == pytest.approx(value)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            arrival_joint_distribution_n2(observed_bin=2)
+        with pytest.raises(ConfigurationError):
+            arrival_joint_distribution_n2(rounds=0)
+
+
+class TestAgreementWithSimulation:
+    def test_simulated_two_round_frequencies_match_exact(self):
+        """Monte-Carlo check that the exact n=2 joint matches the simulator."""
+        from repro.analysis.negative_association import empirical_zero_zero_probability
+
+        estimate = empirical_zero_zero_probability(2, trials=6000, seed=0)
+        exact = appendix_b_counterexample()
+        assert abs(estimate["p_first_zero"] - exact["p_x1_0"]) < 0.03
+        assert abs(estimate["p_second_zero"] - exact["p_x2_0"]) < 0.03
+        assert abs(estimate["p_joint_zero"] - exact["p_joint_00"]) < 0.03
+
+    def test_exact_chain_agrees_with_long_run_frequencies(self):
+        """The n=3 stationary distribution matches empirical visit frequencies."""
+        from repro.core.process import RepeatedBallsIntoBins
+
+        chain = exact_rbb_chain(3)
+        pi = chain.stationary_distribution()
+        labels = chain.state_labels
+        index = {s: i for i, s in enumerate(labels)}
+
+        process = RepeatedBallsIntoBins(3, seed=11)
+        counts = np.zeros(len(labels))
+        total = 30_000
+        for _ in range(total):
+            loads = tuple(int(x) for x in process.step())
+            counts[index[loads]] += 1
+        empirical = counts / total
+        # total-variation distance between empirical occupancy and pi is small
+        tv = 0.5 * float(np.abs(empirical - pi).sum())
+        assert tv < 0.05

@@ -1,0 +1,99 @@
+"""Unit tests for repro.markov.spectral."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov.small_n import exact_rbb_transition_matrix
+from repro.markov.spectral import (
+    empirical_mixing_time,
+    mixing_time_bound,
+    spectral_gap,
+    total_variation_distance,
+)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_known_value(self):
+        assert total_variation_distance(
+            np.array([0.6, 0.4]), np.array([0.4, 0.6])
+        ) == pytest.approx(0.2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            total_variation_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestSpectralGap:
+    def test_identity_has_zero_gap(self):
+        assert spectral_gap(np.eye(3)) == pytest.approx(0.0)
+
+    def test_uniform_jump_has_gap_one(self):
+        P = np.full((4, 4), 0.25)
+        assert spectral_gap(P) == pytest.approx(1.0, abs=1e-10)
+
+    def test_two_state_chain(self):
+        P = np.array([[0.9, 0.1], [0.3, 0.7]])
+        # eigenvalues are 1 and 0.6
+        assert spectral_gap(P) == pytest.approx(0.4, abs=1e-10)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spectral_gap(np.ones((2, 3)))
+
+    def test_rbb_chain_has_positive_gap(self):
+        P, _ = exact_rbb_transition_matrix(3)
+        assert spectral_gap(P) > 0.05
+
+
+class TestMixingTime:
+    def test_bound_positive_and_finite_for_ergodic_chain(self):
+        P = np.array([[0.9, 0.1], [0.3, 0.7]])
+        bound = mixing_time_bound(P)
+        assert 0 < bound < math.inf
+
+    def test_bound_infinite_for_identity(self):
+        assert math.isinf(mixing_time_bound(np.eye(2)))
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            mixing_time_bound(np.eye(2), epsilon=0.0)
+
+    def test_empirical_mixing_time_two_state(self):
+        P = np.array([[0.9, 0.1], [0.3, 0.7]])
+        t = empirical_mixing_time(P, np.array([1.0, 0.0]), epsilon=0.01)
+        assert t is not None
+        assert t >= 1
+        # starting at stationarity mixes instantly
+        pi = np.array([0.75, 0.25])
+        assert empirical_mixing_time(P, pi, epsilon=0.01) == 0
+
+    def test_empirical_mixing_time_timeout(self):
+        t = empirical_mixing_time(np.eye(2), np.array([1.0, 0.0]), epsilon=0.1, max_steps=5)
+        assert t is None
+
+    def test_empirical_mixing_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            empirical_mixing_time(np.eye(2), np.array([1.0, 0.0, 0.0]))
+
+    def test_rbb_chain_forgets_initial_configuration(self):
+        """The exact n=3 chain mixes from the most concentrated start in a
+        handful of rounds — the small-scale shadow of self-stabilization."""
+        P, states = exact_rbb_transition_matrix(3)
+        index = {s: i for i, s in enumerate(states)}
+        start = np.zeros(len(states))
+        start[index[(3, 0, 0)]] = 1.0
+        t = empirical_mixing_time(P, start, epsilon=0.05, max_steps=500)
+        assert t is not None
+        assert t <= 50

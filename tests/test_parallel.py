@@ -1,0 +1,180 @@
+"""Unit tests for repro.parallel (seeding, runner, aggregation) and repro.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.aggregate import TrialAggregate, aggregate_records
+from repro.parallel.runner import TrialRunner, run_trials
+from repro.parallel.seeding import trial_seed, trial_seeds
+from repro.rng import as_generator, as_seed_sequence, derive_substream, spawn_generators, spawn_seeds
+
+
+# ----------------------------------------------------------------------
+# rng module
+# ----------------------------------------------------------------------
+class TestRngHelpers:
+    def test_as_generator_from_int_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_as_seed_sequence_rejects_generator(self):
+        with pytest.raises(TypeError):
+            as_seed_sequence(np.random.default_rng(0))
+
+    def test_spawn_generators_are_independent(self):
+        gens = spawn_generators(0, 3)
+        assert len(gens) == 3
+        draws = [g.integers(0, 2**31) for g in gens]
+        assert len(set(draws)) == 3
+
+    def test_spawn_seeds_count_validation(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_derive_substream_deterministic_and_keyed(self):
+        a = derive_substream(5, (1, 2)).integers(0, 2**31)
+        b = derive_substream(5, (1, 2)).integers(0, 2**31)
+        c = derive_substream(5, (1, 3)).integers(0, 2**31)
+        assert a == b
+        assert a != c
+
+
+# ----------------------------------------------------------------------
+# seeding
+# ----------------------------------------------------------------------
+class TestTrialSeeds:
+    def test_seed_list_reproducible(self):
+        first = [s.generate_state(2).tolist() for s in trial_seeds(0, 4)]
+        second = [s.generate_state(2).tolist() for s in trial_seeds(0, 4)]
+        assert first == second
+
+    def test_individual_seed_matches_spawned_list(self):
+        full = trial_seeds(123, 5)
+        single = trial_seed(123, 3)
+        assert single.generate_state(4).tolist() == full[3].generate_state(4).tolist()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            trial_seeds(0, -1)
+        with pytest.raises(ConfigurationError):
+            trial_seed(0, -1)
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+def _picklable_trial(trial_index, seed, scale=1):
+    """Module-level trial function so the process pool can pickle it."""
+    rng = np.random.default_rng(seed)
+    return {"index": trial_index, "value": float(rng.random()) * scale}
+
+
+class TestTrialRunner:
+    def test_sequential_execution(self):
+        results = run_trials(_picklable_trial, 5, seed=0)
+        assert len(results) == 5
+        assert [r["index"] for r in results] == [0, 1, 2, 3, 4]
+
+    def test_results_independent_of_worker_count(self):
+        sequential = run_trials(_picklable_trial, 6, seed=1, n_workers=0)
+        parallel = run_trials(_picklable_trial, 6, seed=1, n_workers=2)
+        assert [r["value"] for r in sequential] == pytest.approx(
+            [r["value"] for r in parallel]
+        )
+
+    def test_kwargs_forwarded(self):
+        results = run_trials(_picklable_trial, 3, seed=0, scale=10)
+        assert all(0 <= r["value"] <= 10 for r in results)
+
+    def test_closure_falls_back_to_sequential(self):
+        captured = []
+
+        def closure_trial(i, seed):
+            captured.append(i)
+            return i
+
+        runner = TrialRunner(n_workers=4)
+        results = runner.run(closure_trial, 4, seed=0)
+        assert results == [0, 1, 2, 3]
+        assert captured == [0, 1, 2, 3]
+
+    def test_zero_trials(self):
+        assert run_trials(_picklable_trial, 0, seed=0) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrialRunner(n_workers=-1)
+        with pytest.raises(ConfigurationError):
+            TrialRunner(chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            TrialRunner().run(_picklable_trial, -1)
+
+    def test_effective_workers(self):
+        assert TrialRunner(n_workers=None).effective_workers == 0
+        assert TrialRunner(n_workers=0).effective_workers == 0
+        assert TrialRunner(n_workers=1).effective_workers == 1
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+class TestAggregation:
+    def test_aggregate_records_basic(self):
+        records = [{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}]
+        agg = aggregate_records(records)
+        assert agg.n_trials == 2
+        assert agg.column("a").tolist() == [1.0, 3.0]
+        assert agg.mean("b") == pytest.approx(3.0)
+        assert agg.max("a") == 3.0
+        assert agg.min("a") == 1.0
+
+    def test_summary_column(self):
+        agg = aggregate_records([{"x": v} for v in range(10)])
+        summary = agg.summary("x")
+        assert summary.count == 10
+        assert summary.mean == pytest.approx(4.5)
+
+    def test_fraction_true(self):
+        agg = aggregate_records([{"ok": True}, {"ok": False}, {"ok": True}])
+        assert agg.fraction_true("ok") == pytest.approx(2 / 3)
+
+    def test_none_becomes_nan(self):
+        agg = aggregate_records([{"x": None}, {"x": 2.0}])
+        assert np.isnan(agg.column("x")[0])
+
+    def test_empty_records(self):
+        agg = aggregate_records([])
+        assert agg.n_trials == 0
+        assert isinstance(agg, TrialAggregate)
+
+    def test_unknown_column(self):
+        agg = aggregate_records([{"a": 1}])
+        with pytest.raises(ConfigurationError):
+            agg.column("b")
+
+    def test_heterogeneous_records_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_records([{"a": 1}, {"b": 2}])
+
+    def test_as_dict_of_lists(self):
+        agg = aggregate_records([{"a": 1}, {"a": 2}])
+        assert agg.as_dict_of_lists() == {"a": [1.0, 2.0]}
+
+    def test_end_to_end_with_runner(self):
+        records = run_trials(_picklable_trial, 8, seed=3)
+        agg = aggregate_records(records)
+        assert agg.n_trials == 8
+        assert 0.0 <= agg.mean("value") <= 1.0

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+These check the invariants the paper's analysis leans on — ball conservation,
+non-negativity, the departure/arrival accounting, domination monotonicity of
+the coupling, exactness of the small-n enumeration — for *arbitrary* valid
+inputs rather than hand-picked ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LoadConfiguration
+from repro.core.coupling import CoupledRun
+from repro.core.process import RepeatedBallsIntoBins
+from repro.core.tetris import TetrisProcess
+from repro.core.token_process import TokenRepeatedBallsIntoBins
+from repro.markov.small_n import enumerate_configurations, exact_rbb_transition_matrix
+from repro.analysis.statistics import empirical_whp_probability, summarize_trials
+
+# keep the per-example work small so the whole property suite stays fast
+FAST = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+load_vectors = st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=24).map(
+    lambda xs: np.asarray(xs, dtype=np.int64)
+)
+nonempty_load_vectors = load_vectors.filter(lambda arr: arr.sum() > 0)
+
+
+# ----------------------------------------------------------------------
+# LoadConfiguration
+# ----------------------------------------------------------------------
+class TestConfigurationProperties:
+    @FAST
+    @given(loads=load_vectors)
+    def test_counts_are_consistent(self, loads):
+        config = LoadConfiguration(loads)
+        assert config.n_balls == int(loads.sum())
+        assert config.num_empty_bins + config.num_nonempty_bins == config.n_bins
+        assert 0 <= config.min_load <= config.max_load
+        hist = config.load_histogram()
+        assert int(hist.sum()) == config.n_bins
+        assert int(np.dot(np.arange(hist.size), hist)) == config.n_balls
+
+    @FAST
+    @given(n=st.integers(2, 64), m=st.integers(0, 128))
+    def test_balanced_is_as_flat_as_possible(self, n, m):
+        config = LoadConfiguration.balanced(n, m)
+        assert config.n_balls == m
+        assert config.max_load - config.min_load <= 1
+
+    @FAST
+    @given(n=st.integers(1, 64), m=st.integers(1, 128))
+    def test_canonical_constructors_conserve_balls(self, n, m):
+        assert LoadConfiguration.all_in_one(n, m).n_balls == m
+        assert LoadConfiguration.pyramid(n, m).n_balls == m
+        assert LoadConfiguration.random_uniform(n, m, seed=0).n_balls == m
+
+    @FAST
+    @given(loads=load_vectors)
+    def test_equality_is_value_based(self, loads):
+        assert LoadConfiguration(loads) == LoadConfiguration(loads.copy())
+        assert hash(LoadConfiguration(loads)) == hash(LoadConfiguration(loads.copy()))
+
+
+# ----------------------------------------------------------------------
+# Repeated balls-into-bins process
+# ----------------------------------------------------------------------
+class TestProcessProperties:
+    @FAST
+    @given(loads=load_vectors, seed=st.integers(0, 2**16), rounds=st.integers(1, 30))
+    def test_conservation_and_nonnegativity(self, loads, seed, rounds):
+        process = RepeatedBallsIntoBins(loads.size, initial=loads, seed=seed)
+        total = int(loads.sum())
+        for _ in range(rounds):
+            after = process.step()
+            assert int(after.sum()) == total
+            assert int(after.min()) >= 0
+
+    @FAST
+    @given(loads=nonempty_load_vectors, seed=st.integers(0, 2**16))
+    def test_max_load_drops_by_at_most_one(self, loads, seed):
+        """M(t+1) >= M(t) - 1: a bin loses at most one ball per round."""
+        process = RepeatedBallsIntoBins(loads.size, initial=loads, seed=seed)
+        before = process.max_load
+        after_loads = process.step()
+        assert int(after_loads.max()) >= before - 1
+
+    @FAST
+    @given(loads=load_vectors, seed=st.integers(0, 2**16))
+    def test_single_round_departure_accounting(self, loads, seed):
+        """Every bin's load changes by (arrivals - 1{nonempty}), with total
+        arrivals equal to the number of non-empty bins."""
+        process = RepeatedBallsIntoBins(loads.size, initial=loads, seed=seed)
+        nonempty = loads > 0
+        after = process.step()
+        deltas = after - loads
+        arrivals = deltas + nonempty
+        assert np.all(arrivals >= 0)
+        assert int(arrivals.sum()) == int(nonempty.sum())
+
+
+# ----------------------------------------------------------------------
+# Tetris process
+# ----------------------------------------------------------------------
+class TestTetrisProperties:
+    @FAST
+    @given(
+        loads=load_vectors,
+        seed=st.integers(0, 2**16),
+        arrivals=st.integers(0, 32),
+        rounds=st.integers(1, 20),
+    )
+    def test_total_balls_evolve_by_balance(self, loads, seed, arrivals, rounds):
+        tetris = TetrisProcess(loads.size, arrivals_per_round=arrivals, initial=loads, seed=seed)
+        for _ in range(rounds):
+            before_total = int(tetris.loads.sum())
+            nonempty = int(np.count_nonzero(tetris.loads > 0))
+            after = tetris.step()
+            assert int(after.sum()) == before_total - nonempty + arrivals
+            assert int(after.min()) >= 0
+
+
+# ----------------------------------------------------------------------
+# Coupling (Lemma 3)
+# ----------------------------------------------------------------------
+class TestCouplingProperties:
+    @FAST
+    @given(seed=st.integers(0, 2**16), n=st.integers(8, 64), rounds=st.integers(1, 40))
+    def test_domination_invariant_while_case_i_holds(self, seed, n, rounds):
+        """As long as only case (i) rounds occur, Tetris dominates bin-wise —
+        this is the inductive invariant behind Lemma 3."""
+        loads = np.zeros(n, dtype=np.int64)
+        loads[: n // 2] = 2
+        loads[0] += n - int(loads.sum())
+        run = CoupledRun(n, initial=LoadConfiguration(loads), seed=seed)
+        only_case_i = True
+        for _ in range(rounds):
+            coupled = run.step()
+            only_case_i = only_case_i and coupled
+            if only_case_i:
+                assert np.all(run.tetris_loads >= run.original_loads)
+
+
+# ----------------------------------------------------------------------
+# Token-level process
+# ----------------------------------------------------------------------
+class TestTokenProcessProperties:
+    @FAST
+    @given(
+        n=st.integers(2, 16),
+        m=st.integers(1, 32),
+        seed=st.integers(0, 2**16),
+        rounds=st.integers(1, 25),
+        discipline=st.sampled_from(["fifo", "lifo", "random", "smallest_id"]),
+    )
+    def test_queue_and_load_consistency(self, n, m, seed, rounds, discipline):
+        process = TokenRepeatedBallsIntoBins(n, n_balls=m, discipline=discipline, seed=seed)
+        process.run(rounds)
+        assert int(process.loads.sum()) == m
+        assert np.array_equal(np.bincount(process.ball_bins, minlength=n), process.loads)
+        assert np.all(process.moves + process.waiting_rounds == rounds)
+
+
+# ----------------------------------------------------------------------
+# Exact small-n machinery
+# ----------------------------------------------------------------------
+class TestSmallNProperties:
+    @FAST
+    @given(n=st.integers(1, 4), m=st.integers(0, 5))
+    def test_enumeration_is_exhaustive_and_unique(self, n, m):
+        configs = enumerate_configurations(m, n)
+        assert len(configs) == len(set(configs))
+        assert all(len(c) == n and sum(c) == m for c in configs)
+        # stars and bars count
+        from math import comb
+
+        assert len(configs) == comb(m + n - 1, n - 1)
+
+    @FAST
+    @given(n=st.integers(2, 3), m=st.integers(1, 4))
+    def test_transition_matrix_is_stochastic(self, n, m):
+        P, states = exact_rbb_transition_matrix(n, n_balls=m)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0)
+        assert len(states) == P.shape[0]
+
+
+# ----------------------------------------------------------------------
+# Statistics helpers
+# ----------------------------------------------------------------------
+class TestStatisticsProperties:
+    @FAST
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_summary_orderings(self, values):
+        summary = summarize_trials(values)
+        # np.mean of identical values can differ from them by one ulp, so the
+        # orderings involving the mean are checked up to a tiny relative slack
+        slack = 1e-9 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+        assert summary.q10 <= summary.q90
+        assert summary.ci_low <= summary.ci_high + slack
+
+    @FAST
+    @given(trials=st.integers(1, 500), data=st.data())
+    def test_wilson_interval_brackets_point_estimate(self, trials, data):
+        successes = data.draw(st.integers(0, trials))
+        p, low, high = empirical_whp_probability(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+        assert low - 1e-9 <= p <= high + 1e-9

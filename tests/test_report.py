@@ -1,0 +1,81 @@
+"""Unit tests for repro.experiments.report and the `repro report` CLI command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import registry
+from repro.experiments.report import (
+    generate_full_report,
+    generate_report,
+    report_scale_params,
+    run_report_experiments,
+)
+from repro.experiments.harness import run_experiment
+
+
+class TestReportScaleParams:
+    def test_known_experiment_has_overrides(self):
+        params = report_scale_params("E1")
+        assert "sizes" in params and "trials" in params
+
+    def test_case_insensitive(self):
+        assert report_scale_params("e14") == report_scale_params("E14")
+
+    def test_unknown_experiment_gets_empty_overrides(self):
+        assert report_scale_params("E99") == {}
+
+    def test_overrides_are_copies(self):
+        a = report_scale_params("E1")
+        a["sizes"] = [1]
+        assert report_scale_params("E1")["sizes"] != [1]
+
+    def test_every_override_key_is_a_valid_parameter(self):
+        """Report-scale overrides must be accepted by the corresponding spec."""
+        for experiment_id in registry.all_ids():
+            spec = registry.get(experiment_id).spec
+            overrides = report_scale_params(experiment_id)
+            merged = spec.merged_params(overrides or None)
+            assert set(merged) == set(spec.default_params)
+
+
+class TestGenerateReport:
+    def test_report_structure(self):
+        result = run_experiment("E14", params={"mc_sizes": [2], "mc_trials": 300}, seed=0)
+        text = generate_report([result], title="test report", preamble="preamble text")
+        assert text.startswith("# test report")
+        assert "preamble text" in text
+        assert "## E14" in text
+        assert "*Claim:* Appendix B." in text
+        assert "|" in text  # markdown table present
+        assert "> Appendix B's exact values" in text
+
+    def test_report_with_timing(self):
+        result = run_experiment("E14", params={"mc_sizes": [2], "mc_trials": 200}, seed=0)
+        text = generate_report(
+            [result],
+            include_timing=True,
+            elapsed_seconds={"E14": 1.25},
+        )
+        assert "*Wall-clock:* 1.2 s" in text or "*Wall-clock:* 1.3 s" in text
+
+    def test_run_report_experiments_subset(self):
+        results = run_report_experiments(["E14"], seed=0)
+        assert len(results) == 1
+        assert results[0].experiment_id == "E14"
+
+    def test_generate_full_report_subset(self):
+        text = generate_full_report(experiment_ids=["E14"], seed=0)
+        assert "## E14" in text
+        assert "Wall-clock" in text
+
+
+class TestReportCLI:
+    def test_report_command_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["report", "--out", str(out), "--only", "E14"])
+        assert code == 0
+        assert out.exists()
+        assert "## E14" in out.read_text()
+        assert "wrote" in capsys.readouterr().out

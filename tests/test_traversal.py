@@ -1,0 +1,176 @@
+"""Unit tests for repro.traversal (multi-token traversal, single token, progress)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import LoadConfiguration
+from repro.core.token_process import TokenRepeatedBallsIntoBins
+from repro.errors import ConfigurationError
+from repro.traversal.multi_token import MultiTokenTraversal
+from repro.traversal.progress import progress_statistics
+from repro.traversal.single_token import (
+    SingleTokenWalk,
+    expected_single_cover_time,
+    harmonic_number,
+)
+
+
+class TestHarmonicAndCoverFormulas:
+    def test_harmonic_small_values(self):
+        assert harmonic_number(1) == pytest.approx(1.0)
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_harmonic_zero(self):
+        assert harmonic_number(0) == 0.0
+
+    def test_harmonic_large_approximation(self):
+        # Euler–Maclaurin branch agrees with the exact sum at the crossover
+        exact = sum(1.0 / k for k in range(1, 201))
+        assert harmonic_number(200) == pytest.approx(exact, rel=1e-8)
+
+    def test_harmonic_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_number(-1)
+
+    def test_expected_single_cover_time(self):
+        assert expected_single_cover_time(1) == 0.0
+        # for n=2: one missing coupon, collected with probability 1/2 per round
+        assert expected_single_cover_time(2) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            expected_single_cover_time(0)
+
+
+class TestSingleTokenWalk:
+    def test_initial_state(self):
+        walk = SingleTokenWalk(8, start=3, seed=0)
+        assert walk.position == 3
+        assert walk.visited_count == 1
+        assert not walk.covered
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SingleTokenWalk(0)
+        with pytest.raises(ConfigurationError):
+            SingleTokenWalk(4, start=9)
+
+    def test_step_moves_and_counts(self):
+        walk = SingleTokenWalk(4, seed=1)
+        for _ in range(20):
+            pos = walk.step()
+            assert 0 <= pos < 4
+        assert walk.round_index == 20
+        assert 1 <= walk.visited_count <= 4
+
+    def test_cover_time_reached(self):
+        walk = SingleTokenWalk(16, seed=2)
+        cover = walk.cover_time()
+        assert cover is not None
+        assert walk.covered
+        assert cover >= 15  # needs at least n-1 jumps
+
+    def test_cover_time_timeout(self):
+        walk = SingleTokenWalk(64, seed=3)
+        assert walk.cover_time(max_rounds=5) is None
+
+    def test_single_node_already_covered(self):
+        walk = SingleTokenWalk(1, seed=0)
+        assert walk.covered
+        assert walk.cover_time() == 0
+
+    def test_mean_cover_time_matches_coupon_collector(self):
+        n = 32
+        expected = expected_single_cover_time(n)
+        covers = []
+        for seed in range(60):
+            covers.append(SingleTokenWalk(n, seed=seed).cover_time())
+        assert all(c is not None for c in covers)
+        assert abs(float(np.mean(covers)) - expected) < 0.25 * expected
+
+
+class TestMultiTokenTraversal:
+    def test_construction_defaults(self):
+        traversal = MultiTokenTraversal(16, seed=0)
+        assert traversal.n_nodes == 16
+        assert traversal.n_tokens == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiTokenTraversal(0)
+
+    def test_budget_formula(self):
+        traversal = MultiTokenTraversal(64, seed=0)
+        budget = traversal.default_round_budget(safety_factor=10.0)
+        assert budget >= 10 * 64 * math.log(64) ** 2
+
+    def test_run_completes_small_instance(self):
+        traversal = MultiTokenTraversal(16, seed=1)
+        result = traversal.run()
+        assert result.completed
+        assert result.cover_time is not None
+        assert result.cover_time >= 15
+        assert np.all(result.token_cover_times >= 0)
+        assert int(result.token_cover_times.max()) == result.cover_time
+        assert result.normalized_cover_time() > 0
+
+    def test_run_times_out_with_tiny_budget(self):
+        traversal = MultiTokenTraversal(32, seed=2)
+        result = traversal.run(max_rounds=3)
+        assert not result.completed
+        assert result.cover_time is None
+        assert result.normalized_cover_time() is None
+        assert result.mean_token_cover_time is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiTokenTraversal(8, seed=0).run(max_rounds=-1)
+
+    def test_initial_placement_respected(self):
+        initial = LoadConfiguration.all_in_one(8)
+        traversal = MultiTokenTraversal(8, initial=initial, seed=3)
+        assert traversal.process.max_load == 8
+
+    def test_cover_time_between_single_walk_and_budget(self):
+        """Corollary 1 at small scale: the parallel cover time is within a
+        logarithmic factor of the single-token cover time."""
+        n = 32
+        result = MultiTokenTraversal(n, seed=4).run()
+        assert result.completed
+        single_expected = expected_single_cover_time(n)
+        log_n = math.log(n)
+        assert result.cover_time >= 0.5 * single_expected  # cannot beat a single walk by much
+        assert result.cover_time <= 20 * n * log_n * log_n  # comfortably inside O(n log^2 n)
+
+    def test_discipline_parameter_accepted(self):
+        result = MultiTokenTraversal(8, discipline="random", seed=5).run()
+        assert result.completed
+
+
+class TestProgressStatistics:
+    def test_basic_fields(self):
+        process = TokenRepeatedBallsIntoBins(32, seed=0)
+        process.run(200)
+        stats = progress_statistics(process)
+        assert stats.rounds == 200
+        assert 0 <= stats.min_moves <= stats.mean_moves <= stats.max_moves <= 200
+        assert stats.min_progress_rate == pytest.approx(stats.min_moves / 200)
+        assert stats.max_waiting_rounds >= 0
+        assert stats.progress_rate_times_log_n >= 0
+
+    def test_requires_at_least_one_round(self):
+        process = TokenRepeatedBallsIntoBins(8, seed=0)
+        with pytest.raises(ConfigurationError):
+            progress_statistics(process)
+
+    def test_fifo_progress_rate_bounded_below(self):
+        """Theorem 1's corollary: under FIFO every ball makes Omega(t / log n)
+        progress; check the normalized rate is bounded away from zero."""
+        n = 64
+        process = TokenRepeatedBallsIntoBins(n, discipline="fifo", seed=1)
+        process.run(8 * n)
+        stats = progress_statistics(process)
+        assert stats.progress_rate_times_log_n > 0.3
