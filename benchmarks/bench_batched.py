@@ -1,0 +1,142 @@
+"""Throughput benchmark: batched ensemble engine vs per-trial sequential.
+
+Simulates the acceptance scenario of the batched-engine refactor — an
+ensemble of ``R = 256`` replicas at ``n = 1024`` over ``2000`` rounds —
+through both engines and reports wall-clock plus replica-round throughput.
+The batched engine must be at least 10x faster than per-trial sequential
+execution when the compiled native kernel is available; the pure-numpy
+batched kernel must still beat sequential execution.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_batched.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batched.py -q
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.core.native import native_available, native_status
+from repro.parallel.ensemble import EnsembleSpec, run_ensemble
+
+N_BINS = 1024
+N_REPLICAS = 256
+ROUNDS = 2000
+SEED = 0
+
+#: Speedup the native batched kernel must reach over per-trial sequential.
+NATIVE_TARGET = 10.0
+#: The numpy batched kernel must at least beat per-trial sequential.
+NUMPY_TARGET = 1.2
+
+
+def _spec() -> EnsembleSpec:
+    return EnsembleSpec(
+        n_bins=N_BINS, n_replicas=N_REPLICAS, rounds=ROUNDS, start="balanced"
+    )
+
+
+def _timed(engine: str, kernel: str = "auto") -> float:
+    start = time.perf_counter()
+    result = run_ensemble(_spec(), seed=SEED, engine=engine, kernel=kernel)
+    elapsed = time.perf_counter() - start
+    assert result.n_replicas == N_REPLICAS
+    assert (result.rounds == ROUNDS).all()
+    return elapsed
+
+
+def measure() -> Dict[str, float]:
+    """Time all engine/kernel combinations once and derive speedups."""
+    timings: Dict[str, float] = {}
+    timings["sequential_s"] = _timed("sequential")
+    timings["batched_numpy_s"] = _timed("batched", kernel="numpy")
+    timings["numpy_speedup"] = timings["sequential_s"] / timings["batched_numpy_s"]
+    if native_available():
+        timings["batched_native_s"] = _timed("batched", kernel="native")
+        timings["native_speedup"] = (
+            timings["sequential_s"] / timings["batched_native_s"]
+        )
+    return timings
+
+
+def test_batched_engine_speedup():
+    timings = measure()
+    assert timings["numpy_speedup"] >= NUMPY_TARGET, (
+        f"numpy batched kernel slower than expected: "
+        f"{timings['numpy_speedup']:.2f}x < {NUMPY_TARGET}x"
+    )
+    if "native_speedup" not in timings:
+        import pytest
+
+        pytest.skip(
+            f"native kernel unavailable ({native_status()}); the {NATIVE_TARGET}x "
+            "target requires the compiled kernel"
+        )
+    assert timings["native_speedup"] >= NATIVE_TARGET, (
+        f"native batched kernel below the {NATIVE_TARGET}x target: "
+        f"{timings['native_speedup']:.2f}x"
+    )
+
+
+def main() -> int:
+    """Print the throughput table and enforce the speedup targets.
+
+    Returns a non-zero exit code when a target is missed, so CI needs only
+    this one invocation (the pytest entry point above exists for local
+    ``pytest benchmarks/`` runs and simulates the same scenario).
+    """
+    replica_rounds = N_REPLICAS * ROUNDS
+    print(
+        f"ensemble: R={N_REPLICAS} replicas, n={N_BINS} bins, "
+        f"{ROUNDS} rounds ({replica_rounds:,} replica-rounds)"
+    )
+    print(f"native kernel: {native_status()}")
+    timings = measure()
+    rows = [("sequential (per-trial)", timings["sequential_s"], 1.0)]
+    rows.append(
+        (
+            "batched / numpy kernel",
+            timings["batched_numpy_s"],
+            timings["numpy_speedup"],
+        )
+    )
+    if "batched_native_s" in timings:
+        rows.append(
+            (
+                "batched / native kernel",
+                timings["batched_native_s"],
+                timings["native_speedup"],
+            )
+        )
+    print(f"{'engine':28s} {'wall clock':>12s} {'replica-rounds/s':>18s} {'speedup':>9s}")
+    for label, elapsed, speedup in rows:
+        print(
+            f"{label:28s} {elapsed:10.2f} s {replica_rounds / elapsed:18,.0f} "
+            f"{speedup:8.1f}x"
+        )
+    failures = []
+    if timings["numpy_speedup"] < NUMPY_TARGET:
+        failures.append(
+            f"numpy kernel speedup {timings['numpy_speedup']:.2f}x "
+            f"< {NUMPY_TARGET}x target"
+        )
+    if "native_speedup" in timings:
+        if timings["native_speedup"] < NATIVE_TARGET:
+            failures.append(
+                f"native kernel speedup {timings['native_speedup']:.2f}x "
+                f"< {NATIVE_TARGET}x target"
+            )
+    else:
+        print(f"note: native kernel unavailable; {NATIVE_TARGET}x target not checked")
+    for failure in failures:
+        print(f"FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,9 +33,11 @@ from .baselines import (
     theoretical_one_shot_max_load,
 )
 from .core import (
+    BatchedRepeatedBallsIntoBins,
     CoupledRun,
     CouplingResult,
     EmptyBinsTracker,
+    EnsembleResult,
     LegitimacyTracker,
     LoadConfiguration,
     MaxLoadTracker,
@@ -45,6 +47,8 @@ from .core import (
     TetrisProcess,
     TokenRepeatedBallsIntoBins,
     legitimacy_threshold,
+    make_ensemble_initial,
+    native_available,
 )
 from .errors import (
     ConfigurationError,
@@ -57,6 +61,7 @@ from .errors import (
 from .experiments import available_experiments, format_table, run_experiment
 from .graphs import ConstrainedParallelWalks, Topology, complete_graph, cycle_graph
 from .markov import BinLoadChain, FiniteMarkovChain, absorption_tail_bound
+from .parallel import EnsembleSpec, run_ensemble
 from .rng import as_generator, spawn_generators
 from .traversal import MultiTokenTraversal, SingleTokenWalk, expected_single_cover_time
 
@@ -69,6 +74,10 @@ __all__ = [
     "legitimacy_threshold",
     "RepeatedBallsIntoBins",
     "SimulationResult",
+    "BatchedRepeatedBallsIntoBins",
+    "EnsembleResult",
+    "make_ensemble_initial",
+    "native_available",
     "TetrisProcess",
     "ProbabilisticTetris",
     "CoupledRun",
@@ -106,6 +115,9 @@ __all__ = [
     "run_experiment",
     "available_experiments",
     "format_table",
+    # parallel
+    "EnsembleSpec",
+    "run_ensemble",
     # rng
     "as_generator",
     "spawn_generators",

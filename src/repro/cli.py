@@ -62,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--markdown", action="store_true", help="print a markdown table instead of plain text"
     )
+    run.add_argument(
+        "--engine",
+        choices=["batched", "sequential"],
+        default=None,
+        help=(
+            "Monte-Carlo engine for ensemble experiments: 'batched' advances "
+            "all replicas as one vectorized (R x n) state, 'sequential' runs "
+            "one replica per trial (ignored by experiments without an "
+            "'engine' parameter)"
+        ),
+    )
 
     report = sub.add_parser(
         "report", help="run a set of experiments and write a markdown report (EXPERIMENTS.md style)"
@@ -74,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="ID",
         help="restrict to a subset of experiment ids (default: all)",
+    )
+    report.add_argument(
+        "--engine",
+        choices=["batched", "sequential"],
+        default=None,
+        help="Monte-Carlo engine for the ensemble experiments in the report",
     )
     return parser
 
@@ -120,6 +137,16 @@ def _cmd_describe(experiment_id: str) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     overrides = _parse_overrides(args.param)
+    if args.engine is not None:
+        spec = get_experiment(args.experiment_id)
+        if "engine" in spec.default_params:
+            overrides["engine"] = args.engine
+        else:
+            print(
+                f"note: {spec.experiment_id} does not run through the ensemble "
+                "engine; --engine ignored",
+                file=sys.stderr,
+            )
     result = run_experiment(args.experiment_id, params=overrides or None, seed=args.seed)
     style = "markdown" if args.markdown else "text"
     title = f"{result.spec.experiment_id}: {result.spec.title} ({result.spec.claim})"
@@ -140,7 +167,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     from .experiments.report import generate_full_report
 
-    report = generate_full_report(experiment_ids=args.only, seed=args.seed)
+    report = generate_full_report(
+        experiment_ids=args.only, seed=args.seed, engine=args.engine
+    )
     Path(args.out).write_text(report)
     print(f"wrote {args.out}")
     return 0

@@ -1,14 +1,18 @@
 """Core processes of the paper.
 
 This package implements the repeated balls-into-bins process (the paper's
-subject), the auxiliary Tetris process used in its analysis, the coupling
+subject), the batched ensemble engine that simulates R replicas of it as a
+single vectorized ``(R, n)`` state (with an optional compiled native
+kernel), the auxiliary Tetris process used in its analysis, the coupling
 between the two (Lemma 3), the identity-tracking token-level variant used
 for traversal/cover-time experiments (Section 4), and the metric/observer
 machinery shared by all of them.
 """
 
+from .batched import BatchedRepeatedBallsIntoBins, EnsembleResult, make_ensemble_initial
 from .config import LoadConfiguration, legitimacy_threshold
 from .coupling import CoupledRun, CouplingResult
+from .native import native_available, native_status
 from .metrics import (
     EmptyBinsTracker,
     LegitimacyTracker,
@@ -34,6 +38,11 @@ __all__ = [
     "legitimacy_threshold",
     "RepeatedBallsIntoBins",
     "SimulationResult",
+    "BatchedRepeatedBallsIntoBins",
+    "EnsembleResult",
+    "make_ensemble_initial",
+    "native_available",
+    "native_status",
     "TetrisProcess",
     "ProbabilisticTetris",
     "CoupledRun",

@@ -1,0 +1,630 @@
+"""Batched ensemble simulation of the repeated balls-into-bins process.
+
+Every empirical claim in the paper is a statement about *distributions over
+runs* (max-load tails, convergence-time quantiles, empty-bin counts), so the
+real workload of this repository is Monte-Carlo ensembles.  This module
+simulates ``R`` independent replicas of the process as one ``(R, n)`` load
+matrix: a round advances **all** replicas with a single flat random draw
+plus one ``np.bincount`` over the combined index space (each replica's
+destinations are offset by ``r * n``), instead of ``R`` separate Python-level
+simulations.
+
+Two kernels drive the update:
+
+``numpy`` (reference)
+    Pure-numpy, and **stream-compatible** with
+    :class:`~repro.core.process.RepeatedBallsIntoBins`: with ``R == 1`` and
+    the same seed it consumes the generator identically and reproduces the
+    sequential trajectory step for step.
+``native`` (fast)
+    A small C kernel (see ``rbb_kernel.c``) compiled on demand and driven
+    through :mod:`ctypes`; each replica owns an independent xoshiro256++
+    stream seeded from the same root seed.  Trajectories differ from the
+    numpy kernel (different generator) but follow the same distribution;
+    whole ``run()`` calls collapse into a single FFI call, which is where
+    the order-of-magnitude ensemble speedups come from.
+
+``kernel="auto"`` (the default) uses the native kernel when a C compiler is
+available and falls back to numpy silently otherwise.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
+from .native import get_kernel, native_status
+from ..errors import ConfigurationError, SimulationError
+from ..rng import as_seed_sequence
+from ..types import SeedLike
+
+__all__ = [
+    "BatchedRepeatedBallsIntoBins",
+    "EnsembleResult",
+    "make_ensemble_initial",
+]
+
+#: Initial-configuration families understood by :func:`make_ensemble_initial`.
+INITIAL_KINDS = (
+    "balanced",
+    "all_in_one",
+    "random_uniform",
+    "pyramid",
+    "legitimate_extreme",
+)
+
+
+def make_ensemble_initial(
+    kind: str,
+    n_bins: int,
+    n_replicas: int,
+    n_balls: Optional[int] = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Build an ``(R, n)`` initial load matrix from a named start family.
+
+    Deterministic kinds (``balanced``, ``all_in_one``, ``pyramid``,
+    ``legitimate_extreme``) replicate the corresponding
+    :class:`LoadConfiguration` constructor across replicas;
+    ``random_uniform`` throws each replica's balls independently with a
+    single flat draw.
+    """
+    if n_replicas < 1:
+        raise ConfigurationError(f"n_replicas must be >= 1, got {n_replicas}")
+    m = n_bins if n_balls is None else n_balls
+    if kind == "random_uniform":
+        if m < 0:
+            raise ConfigurationError(f"n_balls must be >= 0, got {m}")
+        rng = np.random.default_rng(as_seed_sequence(seed))
+        destinations = rng.integers(0, n_bins, size=n_replicas * m)
+        destinations += np.repeat(
+            np.arange(n_replicas, dtype=np.int64) * n_bins, m
+        )
+        counts = np.bincount(destinations, minlength=n_replicas * n_bins)
+        return counts.reshape(n_replicas, n_bins).astype(np.int64)
+    makers = {
+        "balanced": LoadConfiguration.balanced,
+        "all_in_one": LoadConfiguration.all_in_one,
+        "pyramid": LoadConfiguration.pyramid,
+        "legitimate_extreme": LoadConfiguration.legitimate_extreme,
+    }
+    if kind not in makers:
+        raise ConfigurationError(
+            f"unknown initial kind {kind!r}; expected one of {INITIAL_KINDS}"
+        )
+    row = makers[kind](n_bins, n_balls=n_balls).as_array()
+    return np.tile(row, (n_replicas, 1))
+
+
+@dataclass
+class EnsembleResult:
+    """Vector-valued summary of one :meth:`BatchedRepeatedBallsIntoBins.run`.
+
+    Every metric is a length-``R`` vector indexed by replica; scalar
+    aggregates are exposed as properties so experiment runners and the
+    aggregation layer can consume either view.
+
+    Attributes
+    ----------
+    rounds:
+        Rounds executed *in this call* per replica (early-stopped replicas
+        report fewer).
+    final_loads:
+        The ``(R, n)`` configuration after the call.
+    max_load_seen:
+        Per-replica window maximum ``max_t M(t)`` over the executed rounds.
+    min_empty_bins_seen:
+        Per-replica window minimum of the empty-bin count.
+    first_legitimate_round:
+        Per-replica global round index of the first legitimate configuration
+        observed, or ``-1`` if none was seen.
+    """
+
+    n_bins: int
+    rounds: np.ndarray
+    final_loads: np.ndarray
+    max_load_seen: np.ndarray
+    min_empty_bins_seen: np.ndarray
+    first_legitimate_round: np.ndarray
+    beta: float = field(default=DEFAULT_BETA)
+    kernel: str = "numpy"
+
+    @property
+    def n_replicas(self) -> int:
+        return int(self.final_loads.shape[0])
+
+    @property
+    def n_balls(self) -> np.ndarray:
+        """Per-replica ball counts (conserved by the process)."""
+        return self.final_loads.sum(axis=1)
+
+    @property
+    def final_max_load(self) -> np.ndarray:
+        """Per-replica maximum load of the final configuration."""
+        return self.final_loads.max(axis=1)
+
+    @property
+    def final_empty_bins(self) -> np.ndarray:
+        """Per-replica empty-bin count of the final configuration."""
+        return (self.final_loads == 0).sum(axis=1)
+
+    @property
+    def converged(self) -> np.ndarray:
+        """Boolean mask of replicas that reached a legitimate configuration."""
+        return self.first_legitimate_round >= 0
+
+    @property
+    def converged_fraction(self) -> float:
+        return float(np.count_nonzero(self.converged) / self.n_replicas)
+
+    def ended_legitimate(self, beta: Optional[float] = None) -> np.ndarray:
+        """Per-replica legitimacy of the final configuration."""
+        threshold = legitimacy_threshold(
+            self.n_bins, self.beta if beta is None else beta
+        )
+        return self.final_max_load <= threshold
+
+    def configuration(self, replica: int) -> LoadConfiguration:
+        """Immutable snapshot of one replica's final configuration."""
+        return LoadConfiguration(self.final_loads[replica])
+
+    def to_records(self) -> List[Dict[str, float]]:
+        """One flat dict per replica, shaped like a per-trial record."""
+        return [
+            {
+                "window_max_load": int(self.max_load_seen[r]),
+                "min_empty_bins": int(self.min_empty_bins_seen[r]),
+                "first_legitimate_round": int(self.first_legitimate_round[r]),
+                "rounds": int(self.rounds[r]),
+                "final_max_load": int(self.final_max_load[r]),
+            }
+            for r in range(self.n_replicas)
+        ]
+
+    @staticmethod
+    def concatenate(results: List["EnsembleResult"]) -> "EnsembleResult":
+        """Stack shard results (e.g. from worker processes) along replicas."""
+        if not results:
+            raise ConfigurationError("cannot concatenate zero ensemble results")
+        head = results[0]
+        for other in results[1:]:
+            if other.n_bins != head.n_bins or other.beta != head.beta:
+                raise ConfigurationError(
+                    "ensemble shards disagree on n_bins/beta; refusing to merge"
+                )
+        kernels = {r.kernel for r in results}
+        return EnsembleResult(
+            n_bins=head.n_bins,
+            rounds=np.concatenate([r.rounds for r in results]),
+            final_loads=np.vstack([r.final_loads for r in results]),
+            max_load_seen=np.concatenate([r.max_load_seen for r in results]),
+            min_empty_bins_seen=np.concatenate(
+                [r.min_empty_bins_seen for r in results]
+            ),
+            first_legitimate_round=np.concatenate(
+                [r.first_legitimate_round for r in results]
+            ),
+            beta=head.beta,
+            kernel=kernels.pop() if len(kernels) == 1 else "mixed",
+        )
+
+    def describe(self) -> Dict[str, float]:
+        """Scalar aggregates used in logs and quick sanity checks."""
+        converged = self.first_legitimate_round[self.converged]
+        return {
+            "n_replicas": float(self.n_replicas),
+            "mean_window_max_load": float(self.max_load_seen.mean()),
+            "max_window_max_load": float(self.max_load_seen.max()),
+            "mean_min_empty_fraction": float(
+                self.min_empty_bins_seen.mean() / self.n_bins
+            ),
+            "converged_fraction": self.converged_fraction,
+            "mean_convergence_round": (
+                float(converged.mean()) if converged.size else float("nan")
+            ),
+        }
+
+
+class BatchedRepeatedBallsIntoBins:
+    """Vectorized ensemble of ``R`` independent repeated balls-into-bins runs.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins ``n`` (shared by every replica).
+    n_replicas:
+        Number of independent replicas ``R``.
+    n_balls:
+        Balls per replica; defaults to ``n_bins``.  Ignored when ``initial``
+        is given (ball counts are inferred per replica).
+    initial:
+        ``None`` for the balanced start, a :class:`LoadConfiguration` or
+        1-D array replicated across replicas, or a 2-D ``(R, n)`` array of
+        per-replica starting configurations.
+    seed:
+        Seed-like value; with ``R == 1`` and the numpy kernel the trajectory
+        matches :class:`~repro.core.process.RepeatedBallsIntoBins` under the
+        same seed, step for step.
+    kernel:
+        ``"numpy"`` (reference), ``"native"`` (compiled; raises when no C
+        compiler is available), or ``"auto"`` (native when possible).
+
+    Notes
+    -----
+    Replicas that reach a legitimate configuration during a
+    ``stop_when_legitimate`` run are *frozen*: later rounds skip them, their
+    loads stay fixed, and their round counters stop advancing.
+    """
+
+    def __init__(
+        self,
+        n_bins: int,
+        n_replicas: int,
+        n_balls: Optional[int] = None,
+        initial: Union[LoadConfiguration, np.ndarray, None] = None,
+        seed: SeedLike = None,
+        kernel: str = "auto",
+    ) -> None:
+        if n_bins < 1:
+            raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+        if n_replicas < 1:
+            raise ConfigurationError(
+                f"n_replicas must be >= 1, got {n_replicas}"
+            )
+        if kernel not in ("auto", "numpy", "native"):
+            raise ConfigurationError(
+                f"kernel must be 'auto', 'numpy' or 'native', got {kernel!r}"
+            )
+        if kernel == "native" and get_kernel() is None:
+            raise ConfigurationError(
+                f"native kernel requested but unavailable ({native_status()})"
+            )
+        self._n_bins = n_bins
+        self._n_replicas = n_replicas
+        self._kernel = kernel
+        self._loads = self._coerce_initial(initial, n_balls)
+        self._n_balls = self._loads.sum(axis=1)
+        self._rounds_done = np.zeros(n_replicas, dtype=np.int64)
+        self._active = np.ones(n_replicas, dtype=bool)
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+            self._seed_seq: Optional[np.random.SeedSequence] = None
+        else:
+            self._seed_seq = as_seed_sequence(seed)
+            self._rng = np.random.default_rng(self._seed_seq)
+        self._row_base = np.arange(n_replicas, dtype=np.int64) * n_bins
+        self._native_state: Optional[np.ndarray] = None
+
+    def _coerce_initial(self, initial, n_balls: Optional[int]) -> np.ndarray:
+        n, R = self._n_bins, self._n_replicas
+        if initial is None:
+            m = n if n_balls is None else n_balls
+            if m < 0:
+                raise ConfigurationError(f"n_balls must be >= 0, got {m}")
+            return make_ensemble_initial("balanced", n, R, n_balls=m)
+        if isinstance(initial, LoadConfiguration):
+            arr = initial.as_array()
+        else:
+            arr = np.asarray(initial)
+        if arr.ndim == 1:
+            config = LoadConfiguration(arr)  # validates shape and values
+            if config.n_bins != n:
+                raise ConfigurationError(
+                    f"initial configuration has {config.n_bins} bins, expected {n}"
+                )
+            if n_balls is not None and n_balls != config.n_balls:
+                raise ConfigurationError(
+                    f"n_balls={n_balls} contradicts initial configuration "
+                    f"with {config.n_balls} balls"
+                )
+            return np.tile(config.as_array(), (R, 1))
+        if arr.ndim == 2:
+            if arr.shape != (R, n):
+                raise ConfigurationError(
+                    f"initial matrix has shape {arr.shape}, expected ({R}, {n})"
+                )
+            if not np.issubdtype(arr.dtype, np.integer):
+                if not np.all(np.equal(np.mod(arr, 1), 0)):
+                    raise ConfigurationError("initial loads must be integer-valued")
+            if np.any(arr < 0):
+                raise ConfigurationError("initial loads must be non-negative")
+            return np.array(arr, dtype=np.int64, copy=True)
+        raise ConfigurationError(
+            f"initial must be 1-D or 2-D, got ndim={arr.ndim}"
+        )
+
+    # ------------------------------------------------------------------
+    # State access (vector-valued metric reducers)
+    # ------------------------------------------------------------------
+    @property
+    def n_bins(self) -> int:
+        return self._n_bins
+
+    @property
+    def n_replicas(self) -> int:
+        return self._n_replicas
+
+    @property
+    def n_balls(self) -> np.ndarray:
+        """Per-replica ball counts (conserved)."""
+        return self._n_balls.copy()
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Read-only ``(R, n)`` view of the current load matrix."""
+        view = self._loads.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def rounds_completed(self) -> np.ndarray:
+        """Per-replica number of rounds simulated so far."""
+        return self._rounds_done.copy()
+
+    @property
+    def round_index(self) -> int:
+        """Rounds simulated by the most-advanced replica."""
+        return int(self._rounds_done.max())
+
+    @property
+    def active(self) -> np.ndarray:
+        """Boolean mask of replicas that are still being advanced."""
+        return self._active.copy()
+
+    @property
+    def max_load(self) -> np.ndarray:
+        """Per-replica maximum load of the current configurations."""
+        return self._loads.max(axis=1)
+
+    @property
+    def num_empty_bins(self) -> np.ndarray:
+        """Per-replica empty-bin counts of the current configurations."""
+        return (self._loads == 0).sum(axis=1)
+
+    def is_legitimate(self, beta: float = DEFAULT_BETA) -> np.ndarray:
+        """Per-replica legitimacy predicate ``max load <= beta * log n``."""
+        return self.max_load <= legitimacy_threshold(self._n_bins, beta)
+
+    def configuration(self, replica: int) -> LoadConfiguration:
+        """Immutable snapshot of one replica's current configuration."""
+        return LoadConfiguration(self._loads[replica])
+
+    # ------------------------------------------------------------------
+    # Dynamics — numpy reference kernel
+    # ------------------------------------------------------------------
+    def step(self) -> np.ndarray:
+        """Advance every *active* replica by one round (numpy kernel).
+
+        One flat draw covers all replicas: each replica's departing balls
+        receive uniform destinations in ``[0, n)``, offset by ``r * n`` into
+        the combined index space, and a single ``np.bincount`` scatters the
+        arrivals of the whole ensemble.  With ``R == 1`` the generator is
+        consumed exactly like :meth:`RepeatedBallsIntoBins.step`.
+        """
+        loads = self._loads
+        active = self._active
+        nonempty = loads > 0
+        if not active.all():
+            nonempty &= active[:, None]
+        counts = np.count_nonzero(nonempty, axis=1)
+        total = int(counts.sum())
+        if total:
+            loads -= nonempty
+            destinations = self._rng.integers(0, self._n_bins, size=total)
+            destinations += np.repeat(self._row_base, counts)
+            arrivals = np.bincount(
+                destinations, minlength=self._n_replicas * self._n_bins
+            )
+            loads += arrivals.reshape(self._n_replicas, self._n_bins)
+        self._rounds_done += active
+        return self.loads
+
+    def run(
+        self,
+        rounds: int,
+        beta: float = DEFAULT_BETA,
+        stop_when_legitimate: bool = False,
+    ) -> EnsembleResult:
+        """Simulate up to ``rounds`` rounds for every active replica.
+
+        Parameters
+        ----------
+        rounds:
+            Maximum number of rounds for this call.
+        beta:
+            Legitimacy constant for ``first_legitimate_round`` and the
+            optional per-replica early stop.
+        stop_when_legitimate:
+            Freeze each replica as soon as it reaches a legitimate
+            configuration (checked before the first round too, mirroring
+            :meth:`RepeatedBallsIntoBins.run_until_legitimate`).
+        """
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        threshold = legitimacy_threshold(self._n_bins, beta)
+        R = self._n_replicas
+        first_legit = np.full(R, -1, dtype=np.int64)
+        if stop_when_legitimate and self._active.any():
+            hit = self._active & (self.max_load <= threshold)
+            first_legit[hit] = self._rounds_done[hit]
+            self._active[hit] = False
+
+        kernel = get_kernel() if self._kernel in ("auto", "native") else None
+        if kernel is not None and not self._native_supported():
+            if self._kernel == "native":
+                raise ConfigurationError(
+                    "native kernel requested but the state does not fit its "
+                    "int32 load representation (n_bins and per-replica ball "
+                    "counts must stay below 2**31)"
+                )
+            kernel = None
+        start_rounds = self._rounds_done.copy()
+        if kernel is not None:
+            max_seen, min_empty = self._run_native(
+                kernel, rounds, threshold, stop_when_legitimate, first_legit
+            )
+            used = "native"
+        else:
+            max_seen, min_empty = self._run_numpy(
+                rounds, threshold, stop_when_legitimate, first_legit
+            )
+            used = "numpy"
+
+        executed = self._rounds_done - start_rounds
+        idle = executed == 0
+        if idle.any():
+            max_seen[idle] = 0
+            min_empty[idle] = self.num_empty_bins[idle]
+        self._check_conservation()
+        return EnsembleResult(
+            n_bins=self._n_bins,
+            rounds=executed,
+            final_loads=self._loads.copy(),
+            max_load_seen=max_seen,
+            min_empty_bins_seen=min_empty,
+            first_legitimate_round=first_legit,
+            beta=beta,
+            kernel=used,
+        )
+
+    def _run_numpy(self, rounds, threshold, stop_when_legitimate, first_legit):
+        R, n = self._n_replicas, self._n_bins
+        max_seen = np.zeros(R, dtype=np.int64)
+        min_empty = np.full(R, n, dtype=np.int64)
+        for _ in range(rounds):
+            stepped = self._active.copy()
+            if not stepped.any():
+                break
+            self.step()
+            current_max = self._loads.max(axis=1)
+            current_empty = (self._loads == 0).sum(axis=1)
+            np.maximum(max_seen, current_max, out=max_seen, where=stepped)
+            np.minimum(min_empty, current_empty, out=min_empty, where=stepped)
+            newly = stepped & (first_legit < 0) & (current_max <= threshold)
+            if newly.any():
+                first_legit[newly] = self._rounds_done[newly]
+                if stop_when_legitimate:
+                    self._active[newly] = False
+        return max_seen, min_empty
+
+    # ------------------------------------------------------------------
+    # Dynamics — native kernel
+    # ------------------------------------------------------------------
+    def _native_supported(self) -> bool:
+        return bool(
+            self._n_bins < 2**31
+            and (self._n_balls < 2**31 - 1).all()
+        )
+
+    def _native_states(self) -> np.ndarray:
+        """Per-replica xoshiro256++ states, seeded once per instance."""
+        if self._native_state is None:
+            R = self._n_replicas
+            if self._seed_seq is not None:
+                children = self._seed_seq.spawn(R)
+                state = np.stack(
+                    [c.generate_state(4, dtype=np.uint64) for c in children]
+                )
+            else:  # seeded from a caller-provided Generator
+                state = self._rng.integers(
+                    0, np.iinfo(np.uint64).max, size=(R, 4), dtype=np.uint64,
+                    endpoint=True,
+                )
+            zero_rows = ~state.any(axis=1)  # all-zero is invalid for xoshiro
+            state[zero_rows, 0] = 0x9E3779B97F4A7C15
+            self._native_state = np.ascontiguousarray(state)
+        return self._native_state
+
+    def _run_native(self, kernel, rounds, threshold, stop_when_legitimate, first_legit):
+        R = self._n_replicas
+        loads32 = np.ascontiguousarray(self._loads, dtype=np.int32)
+        states = self._native_states()
+        max_seen = np.zeros(R, dtype=np.int32)
+        min_empty = np.full(R, self._n_bins, dtype=np.int32)
+        active8 = np.ascontiguousarray(self._active, dtype=np.uint8)
+        rounds_done = np.ascontiguousarray(self._rounds_done)
+        first64 = np.ascontiguousarray(first_legit)
+
+        def ptr(arr, ctype):
+            return arr.ctypes.data_as(ctypes.POINTER(ctype))
+
+        kernel(
+            ptr(loads32, ctypes.c_int32),
+            ctypes.c_int64(R),
+            ctypes.c_int64(self._n_bins),
+            ctypes.c_int64(rounds),
+            ptr(states, ctypes.c_uint64),
+            ctypes.c_double(threshold),
+            ctypes.c_int(1 if stop_when_legitimate else 0),
+            ptr(max_seen, ctypes.c_int32),
+            ptr(min_empty, ctypes.c_int32),
+            ptr(first64, ctypes.c_int64),
+            ptr(rounds_done, ctypes.c_int64),
+            ptr(active8, ctypes.c_uint8),
+        )
+        self._loads[...] = loads32
+        self._rounds_done[...] = rounds_done
+        self._active[...] = active8.astype(bool)
+        first_legit[...] = first64
+        return max_seen.astype(np.int64), min_empty.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def run_until_legitimate(
+        self, max_rounds: int, beta: float = DEFAULT_BETA
+    ) -> np.ndarray:
+        """Run with per-replica early stop; returns the convergence rounds.
+
+        The result is a length-``R`` vector: the global round index of each
+        replica's first legitimate configuration, or ``-1`` where the budget
+        of ``max_rounds`` elapsed first.
+        """
+        return self.run(
+            max_rounds, beta=beta, stop_when_legitimate=True
+        ).first_legitimate_round
+
+    def reset(
+        self, initial: Union[LoadConfiguration, np.ndarray, None] = None
+    ) -> None:
+        """Reset loads (balanced by default), round counters, and activity.
+
+        Random state is *not* reset: the numpy generator and the native
+        per-replica streams continue where they left off, mirroring
+        :meth:`RepeatedBallsIntoBins.reset`.
+        """
+        if initial is None:
+            m = int(self._n_balls[0])
+            if not (self._n_balls == m).all():
+                raise ConfigurationError(
+                    "reset() without an explicit initial requires equal "
+                    "per-replica ball counts"
+                )
+            self._loads = make_ensemble_initial(
+                "balanced", self._n_bins, self._n_replicas, n_balls=m
+            )
+        else:
+            self._loads = self._coerce_initial(initial, None)
+        self._n_balls = self._loads.sum(axis=1)
+        self._rounds_done[:] = 0
+        self._active[:] = True
+
+    def _check_conservation(self) -> None:
+        totals = self._loads.sum(axis=1)
+        if not np.array_equal(totals, self._n_balls):
+            bad = int(np.flatnonzero(totals != self._n_balls)[0])
+            raise SimulationError(
+                f"ball count not conserved in replica {bad}: expected "
+                f"{int(self._n_balls[bad])}, found {int(totals[bad])}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchedRepeatedBallsIntoBins(n_bins={self._n_bins}, "
+            f"n_replicas={self._n_replicas}, kernel={self._kernel!r}, "
+            f"rounds<= {self.round_index})"
+        )

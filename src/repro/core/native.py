@@ -1,0 +1,143 @@
+"""On-demand compilation and loading of the native batched kernel.
+
+``rbb_kernel.c`` (shipped next to this module) is compiled once per source
+version into a shared library under the user's cache directory and loaded
+through :mod:`ctypes`.  Everything is best-effort: when no C compiler is
+available, compilation fails, or the environment variable ``REPRO_NATIVE=0``
+disables the fast path, callers fall back to the pure-numpy kernel in
+:mod:`repro.core.batched` — the semantic reference implementation.
+
+The public surface is three functions:
+
+``native_available()``
+    Whether the compiled kernel can be used in this process.
+``get_kernel()``
+    The ``ctypes`` function for ``rbb_run`` (or ``None``).
+``native_status()``
+    A human-readable explanation of why the kernel is or is not available.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["native_available", "get_kernel", "native_status"]
+
+_SOURCE_PATH = Path(__file__).with_name("rbb_kernel.c")
+
+#: Tri-state cache: unset sentinel, or (kernel-or-None, status message).
+_UNSET = object()
+_CACHE = _UNSET
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(root) / "repro-native"
+
+
+def _compiler() -> Optional[str]:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def _compile(source: Path, out: Path, cc: str) -> None:
+    """Compile the kernel, preferring -march=native but retrying without."""
+    out.parent.mkdir(parents=True, exist_ok=True)
+    base = [cc, "-O3", "-shared", "-fPIC", str(source), "-o"]
+    for extra in (["-march=native", "-funroll-loops"], []):
+        with tempfile.NamedTemporaryFile(
+            dir=out.parent, suffix=".so", delete=False
+        ) as tmp:
+            tmp_path = Path(tmp.name)
+        cmd = base[:1] + extra + base[1:] + [str(tmp_path)]
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+        if proc.returncode == 0:
+            os.replace(tmp_path, out)  # atomic: concurrent builds are safe
+            return
+        tmp_path.unlink(missing_ok=True)
+    raise RuntimeError(f"compilation failed: {proc.stderr.strip()[:500]}")
+
+
+def _declare(lib: ctypes.CDLL):
+    fn = lib.rbb_run
+    fn.argtypes = [
+        ctypes.POINTER(ctypes.c_int32),  # loads (R, n)
+        ctypes.c_int64,  # R
+        ctypes.c_int64,  # n
+        ctypes.c_int64,  # rounds
+        ctypes.POINTER(ctypes.c_uint64),  # rng_state (R, 4)
+        ctypes.c_double,  # threshold
+        ctypes.c_int,  # stop_when_legitimate
+        ctypes.POINTER(ctypes.c_int32),  # max_seen (R,)
+        ctypes.POINTER(ctypes.c_int32),  # min_empty_seen (R,)
+        ctypes.POINTER(ctypes.c_int64),  # first_legit (R,)
+        ctypes.POINTER(ctypes.c_int64),  # rounds_done (R,)
+        ctypes.POINTER(ctypes.c_uint8),  # active (R,)
+    ]
+    fn.restype = None
+    return fn
+
+
+def _load():
+    if os.environ.get("REPRO_NATIVE", "").strip() == "0":
+        return None, "disabled via REPRO_NATIVE=0"
+    if not _SOURCE_PATH.exists():
+        return None, f"kernel source missing: {_SOURCE_PATH}"
+    cc = _compiler()
+    if cc is None:
+        return None, "no C compiler found (set CC or install cc/gcc/clang)"
+    # key the cached binary on source, compiler, and host architecture:
+    # '-march=native' builds are not portable across CPUs (e.g. a shared
+    # $HOME on a heterogeneous cluster), and switching CC must not reuse a
+    # stale .so
+    fingerprint = hashlib.sha256(
+        _SOURCE_PATH.read_bytes()
+        + cc.encode()
+        + platform.machine().encode()
+        + platform.processor().encode()
+        + platform.node().encode()
+    ).hexdigest()[:16]
+    lib_path = _cache_dir() / f"rbb_kernel-{fingerprint}.so"
+    try:
+        if not lib_path.exists():
+            _compile(_SOURCE_PATH, lib_path, cc)
+        kernel = _declare(ctypes.CDLL(str(lib_path)))
+    except Exception as exc:  # noqa: BLE001 - any failure means "unavailable"
+        return None, f"native kernel unavailable: {exc}"
+    return kernel, f"compiled with {cc} -> {lib_path}"
+
+
+def _resolve():
+    global _CACHE
+    if _CACHE is _UNSET:
+        _CACHE = _load()
+    return _CACHE
+
+
+def native_available() -> bool:
+    """Whether the compiled kernel is usable in this process."""
+    return _resolve()[0] is not None
+
+
+def get_kernel():
+    """The ``ctypes`` entry point for ``rbb_run``, or ``None``."""
+    return _resolve()[0]
+
+
+def native_status() -> str:
+    """Human-readable availability message (for diagnostics and the CLI)."""
+    return _resolve()[1]

@@ -1,0 +1,128 @@
+/* Native batched kernel for the repeated balls-into-bins process.
+ *
+ * Advances an (R, n) ensemble of independent replicas for a given number of
+ * rounds entirely in C: per round and per active replica, one ball leaves
+ * every non-empty bin and lands in a bin chosen uniformly at random inside
+ * the same replica.  Window metrics (max load, min empty-bin count, first
+ * legitimate round) and the per-replica early stop on legitimacy are
+ * maintained in-kernel so a whole `run()` costs a single FFI call.
+ *
+ * Randomness: each replica owns an independent xoshiro256++ stream whose
+ * 4-word state is seeded by the caller (from a numpy SeedSequence).  A
+ * replica's trajectory therefore depends only on its own seed words, not on
+ * how many replicas share the batch.  Destinations are drawn with Lemire's
+ * unbiased bounded-integer reduction, two 32-bit lanes per 64-bit output.
+ *
+ * Compiled on demand by repro.core.native via the system C compiler; the
+ * pure-numpy kernel in repro.core.batched is the semantic reference.
+ */
+
+#include <stdint.h>
+
+static inline uint64_t rotl64(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+typedef struct {
+    uint64_t s[4];
+} rng_t;
+
+/* xoshiro256++ (Blackman & Vigna, public domain reference implementation) */
+static inline uint64_t next64(rng_t *g)
+{
+    uint64_t *s = g->s;
+    const uint64_t result = rotl64(s[0] + s[3], 23) + s[0];
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl64(s[3], 45);
+    return result;
+}
+
+/* Advance the ensemble.
+ *
+ * loads          (R, n) int32, C-contiguous, mutated in place
+ * rng_state      (R, 4) uint64 xoshiro256++ states, mutated in place
+ * threshold      legitimacy threshold beta * log(n) (loads are integers, so
+ *                comparing against floor(threshold) is exact)
+ * max_seen       (R,) int32 running window maximum, updated in place
+ * min_empty_seen (R,) int32 running window minimum of the empty-bin count
+ * first_legit    (R,) int64, -1 until the replica first becomes legitimate,
+ *                then the (1-based, global) round index
+ * rounds_done    (R,) int64 global per-replica round counters
+ * active         (R,) uint8, replicas with 0 are frozen and skipped;
+ *                cleared in-kernel when stop_when_legitimate is set
+ */
+void rbb_run(int32_t *loads, int64_t R, int64_t n, int64_t rounds,
+             uint64_t *rng_state, double threshold, int stop_when_legitimate,
+             int32_t *max_seen, int32_t *min_empty_seen, int64_t *first_legit,
+             int64_t *rounds_done, uint8_t *active)
+{
+    const uint32_t un = (uint32_t)n;
+    const uint32_t lim = (uint32_t)(-un) % un; /* Lemire rejection threshold */
+    const int32_t thr = (int32_t)threshold;
+
+    for (int64_t t = 0; t < rounds; t++) {
+        int any_active = 0;
+        for (int64_t r = 0; r < R; r++) {
+            if (!active[r])
+                continue;
+            any_active = 1;
+            int32_t *row = loads + r * n;
+            rng_t *g = (rng_t *)(rng_state + 4 * r);
+
+            /* departures: every non-empty bin loses one ball */
+            int64_t cnt = 0;
+            for (int64_t i = 0; i < n; i++) {
+                const int32_t l = row[i];
+                const int32_t ne = l > 0;
+                row[i] = l - ne;
+                cnt += ne;
+            }
+
+            /* arrivals: cnt uniform throws, two 32-bit lanes per draw */
+            int64_t j = 0;
+            while (j < cnt) {
+                const uint64_t w = next64(g);
+                const uint64_t m0 = (uint64_t)(uint32_t)w * un;
+                if ((uint32_t)m0 >= lim) {
+                    row[m0 >> 32]++;
+                    j++;
+                }
+                if (j < cnt) {
+                    const uint64_t m1 = (uint64_t)(uint32_t)(w >> 32) * un;
+                    if ((uint32_t)m1 >= lim) {
+                        row[m1 >> 32]++;
+                        j++;
+                    }
+                }
+            }
+
+            /* metrics of the new configuration */
+            int32_t mx = 0;
+            int64_t empty = 0;
+            for (int64_t i = 0; i < n; i++) {
+                const int32_t l = row[i];
+                if (l > mx)
+                    mx = l;
+                empty += (l == 0);
+            }
+            rounds_done[r]++;
+            if (mx > max_seen[r])
+                max_seen[r] = mx;
+            if ((int32_t)empty < min_empty_seen[r])
+                min_empty_seen[r] = (int32_t)empty;
+            if (first_legit[r] < 0 && mx <= thr) {
+                first_legit[r] = rounds_done[r];
+                if (stop_when_legitimate)
+                    active[r] = 0;
+            }
+        }
+        if (!any_active)
+            break;
+    }
+}

@@ -1,9 +1,12 @@
 """Experiments E1–E7: the load-level claims (Theorem 1, Lemmas 1–6).
 
 Every function in this module has the registry runner signature
-``runner(spec, params, seed) -> ExperimentResult``.  Trial helpers that are
-dispatched through the parallel runner are module-level so they can be
-pickled into worker processes.
+``runner(spec, params, seed) -> ExperimentResult``.  The pure load-vector
+ensembles (E1 stability, E2 convergence, E3 empty bins) are expressed as
+:class:`~repro.parallel.ensemble.EnsembleSpec` and routed through
+:func:`~repro.parallel.ensemble.run_ensemble`, so an ``engine`` parameter
+switches them between the batched ``(R, n)`` engine and the legacy
+per-trial sequential path without changing the result schema.
 """
 
 from __future__ import annotations
@@ -19,11 +22,10 @@ from ..analysis.fitting import fit_log_growth, fit_power_law
 from ..analysis.statistics import empirical_whp_probability, summarize_trials
 from ..core.config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
 from ..core.coupling import CoupledRun
-from ..core.process import RepeatedBallsIntoBins
 from ..core.tetris import TetrisProcess
 from ..markov.absorbing import BinLoadChain, absorption_tail_bound
-from ..parallel.runner import run_trials
-from ..rng import as_generator
+from ..parallel.ensemble import EnsembleSpec, run_ensemble
+from ..rng import as_generator, as_seed_sequence
 
 __all__ = [
     "run_e1_stability",
@@ -39,34 +41,27 @@ __all__ = [
 # ----------------------------------------------------------------------
 # E1 — stability: max load O(log n) over a long window from a legitimate start
 # ----------------------------------------------------------------------
-def _e1_trial(trial_index: int, seed, n: int, rounds: int) -> Dict[str, Any]:
-    """One E1 trial: window max load over ``rounds`` rounds from a legitimate start."""
-    rng = as_generator(seed)
-    initial = LoadConfiguration.random_uniform(n, seed=rng)
-    process = RepeatedBallsIntoBins(n, initial=initial, seed=rng)
-    result = process.run(rounds)
-    return {
-        "window_max_load": result.max_load_seen,
-        "final_max_load": result.final_configuration.max_load,
-        "stayed_legitimate": float(result.max_load_seen <= legitimacy_threshold(n, DEFAULT_BETA)),
-    }
-
-
 def run_e1_stability(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
     result = ExperimentResult(spec=spec, params=params)
     sizes = params["sizes"]
     trials = params["trials"]
     rounds_factor = params["rounds_factor"]
     n_workers = params["n_workers"]
+    engine = params["engine"]
 
     window_maxima = []
     for n in sizes:
         rounds = int(rounds_factor * n)
-        records = run_trials(
-            _e1_trial, trials, seed=seed, n_workers=n_workers, n=n, rounds=rounds
+        ensemble = run_ensemble(
+            EnsembleSpec(
+                n_bins=n, n_replicas=trials, rounds=rounds, start="random_uniform"
+            ),
+            seed=seed,
+            engine=engine,
+            n_workers=n_workers,
         )
-        maxima = np.asarray([r["window_max_load"] for r in records], dtype=float)
-        stayed = sum(int(r["stayed_legitimate"]) for r in records)
+        maxima = ensemble.max_load_seen.astype(float)
+        stayed = int(np.count_nonzero(maxima <= legitimacy_threshold(n, DEFAULT_BETA)))
         summary = summarize_trials(maxima)
         p_hat, p_low, _ = empirical_whp_probability(stayed, trials)
         window_maxima.append(summary.mean)
@@ -94,27 +89,30 @@ def run_e1_stability(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Expe
 # ----------------------------------------------------------------------
 # E2 — convergence: legitimate configuration within O(n) rounds from any start
 # ----------------------------------------------------------------------
-def _e2_trial(trial_index: int, seed, n: int, max_rounds: int) -> Dict[str, Any]:
-    rng = as_generator(seed)
-    process = RepeatedBallsIntoBins(n, initial=LoadConfiguration.all_in_one(n), seed=rng)
-    hit = process.run_until_legitimate(max_rounds)
-    return {"convergence_round": -1 if hit is None else hit}
-
-
 def run_e2_convergence(spec: ExperimentSpec, params: Dict[str, Any], seed) -> ExperimentResult:
     result = ExperimentResult(spec=spec, params=params)
     sizes = params["sizes"]
     trials = params["trials"]
     budget_factor = params["budget_factor"]
     n_workers = params["n_workers"]
+    engine = params["engine"]
 
     mean_times = []
     for n in sizes:
         max_rounds = int(budget_factor * n)
-        records = run_trials(
-            _e2_trial, trials, seed=seed, n_workers=n_workers, n=n, max_rounds=max_rounds
+        ensemble = run_ensemble(
+            EnsembleSpec(
+                n_bins=n,
+                n_replicas=trials,
+                rounds=max_rounds,
+                start="all_in_one",
+                stop_when_legitimate=True,
+            ),
+            seed=seed,
+            engine=engine,
+            n_workers=n_workers,
         )
-        times = np.asarray([r["convergence_round"] for r in records], dtype=float)
+        times = ensemble.first_legitimate_round.astype(float)
         converged = int(np.count_nonzero(times >= 0))
         usable = times[times >= 0]
         summary = summarize_trials(usable) if usable.size else None
@@ -148,29 +146,31 @@ def run_e3_empty_bins(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Exp
     sizes = params["sizes"]
     trials = params["trials"]
     rounds_factor = params["rounds_factor"]
-    rng = as_generator(seed)
+    engine = params["engine"]
 
-    starts = {
-        "balanced": lambda n: LoadConfiguration.balanced(n),
-        "all_in_one": lambda n: LoadConfiguration.all_in_one(n),
-    }
+    starts = ["balanced", "all_in_one"]
+    seed_children = as_seed_sequence(seed).spawn(len(sizes) * len(starts))
+    point = 0
     for n in sizes:
         rounds = max(int(rounds_factor * n), 2)
-        for start_name, make_start in starts.items():
-            min_fractions = []
-            successes = 0
-            for _ in range(trials):
-                process = RepeatedBallsIntoBins(n, initial=make_start(n), seed=rng)
-                process.step()  # Lemma 2 only claims the bound after the first round
-                min_empty = n
-                for _ in range(rounds - 1):
-                    loads = process.step()
-                    empties = int(np.count_nonzero(loads == 0))
-                    if empties < min_empty:
-                        min_empty = empties
-                min_fractions.append(min_empty / n)
-                if min_empty >= empty_bins_lower_bound(n):
-                    successes += 1
+        for start_name in starts:
+            # Lemma 2 only claims the bound after the first round, so the
+            # first step is warm-up and the min is tracked over rounds - 1.
+            ensemble = run_ensemble(
+                EnsembleSpec(
+                    n_bins=n,
+                    n_replicas=trials,
+                    rounds=rounds - 1,
+                    start=start_name,
+                    warmup_rounds=1,
+                ),
+                seed=seed_children[point],
+                engine=engine,
+            )
+            point += 1
+            min_empty = ensemble.min_empty_bins_seen
+            min_fractions = (min_empty / n).tolist()
+            successes = int(np.count_nonzero(min_empty >= empty_bins_lower_bound(n)))
             summary = summarize_trials(min_fractions)
             p_hat, p_low, _ = empirical_whp_probability(successes, trials)
             result.add_row(

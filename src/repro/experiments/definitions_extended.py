@@ -5,6 +5,12 @@ the comparisons against one-shot balls-into-bins and the earlier
 ``O(sqrt(t))`` analysis, the open questions of Section 5 (``m != n`` balls,
 general graphs), the Appendix B counterexample, and the leaky-bins
 extension of [18].
+
+The pure load-vector ensembles (the repeated-process sides of E10/E11 and
+the ``m != n`` sweep of E12) run through
+:func:`~repro.parallel.ensemble.run_ensemble` and accept an ``engine``
+parameter; the remaining experiments use process classes with per-ball or
+per-token state and stay on the per-trial path.
 """
 
 from __future__ import annotations
@@ -22,7 +28,6 @@ from ..analysis.statistics import summarize_trials
 from ..baselines.birth_death import IndependentThrowsProcess, sqrt_t_envelope
 from ..baselines.one_shot import one_shot_max_load, theoretical_one_shot_max_load
 from ..core.config import LoadConfiguration
-from ..core.process import RepeatedBallsIntoBins
 from ..core.tetris import ProbabilisticTetris, TetrisProcess
 from ..core.token_process import TokenRepeatedBallsIntoBins
 from ..graphs.generators import (
@@ -34,8 +39,9 @@ from ..graphs.generators import (
 )
 from ..graphs.walks import ConstrainedParallelWalks
 from ..markov.small_n import appendix_b_counterexample
+from ..parallel.ensemble import EnsembleSpec, run_ensemble
 from ..parallel.runner import run_trials
-from ..rng import as_generator
+from ..rng import as_generator, as_seed_sequence
 from ..traversal.multi_token import MultiTokenTraversal
 from ..traversal.single_token import SingleTokenWalk, expected_single_cover_time
 
@@ -186,17 +192,21 @@ def run_e10_one_shot(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Expe
     sizes = params["sizes"]
     trials = params["trials"]
     window_factor = params["window_factor"]
+    engine = params["engine"]
     rng = as_generator(seed)
+    seed_children = as_seed_sequence(seed).spawn(len(sizes))
 
-    for n in sizes:
+    for point, n in enumerate(sizes):
         rounds = max(int(window_factor * n), 1)
         one_shot = [one_shot_max_load(n, seed=rng) for _ in range(trials)]
-        repeated = []
-        for _ in range(trials):
-            process = RepeatedBallsIntoBins(
-                n, initial=LoadConfiguration.random_uniform(n, seed=rng), seed=rng
-            )
-            repeated.append(process.run(rounds).max_load_seen)
+        ensemble = run_ensemble(
+            EnsembleSpec(
+                n_bins=n, n_replicas=trials, rounds=rounds, start="random_uniform"
+            ),
+            seed=seed_children[point],
+            engine=engine,
+        )
+        repeated = ensemble.max_load_seen.astype(float)
         one_summary = summarize_trials(one_shot)
         rep_summary = summarize_trials(repeated)
         log_n = max(math.log(n), 1.0)
@@ -226,15 +236,20 @@ def run_e11_sqrt_t(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Experi
     n = params["n"]
     window_factors = params["window_factors"]
     trials = params["trials"]
+    engine = params["engine"]
     rng = as_generator(seed)
+    seed_children = as_seed_sequence(seed).spawn(len(window_factors))
 
-    for factor in window_factors:
+    for point, factor in enumerate(window_factors):
         rounds = max(int(factor * n), 1)
-        rbb_maxima = []
+        ensemble = run_ensemble(
+            EnsembleSpec(n_bins=n, n_replicas=trials, rounds=rounds, start="balanced"),
+            seed=seed_children[point],
+            engine=engine,
+        )
+        rbb_maxima = ensemble.max_load_seen.astype(float)
         surrogate_maxima = []
         for _ in range(trials):
-            rbb = RepeatedBallsIntoBins(n, initial=LoadConfiguration.balanced(n), seed=rng)
-            rbb_maxima.append(rbb.run(rounds).max_load_seen)
             surrogate = IndependentThrowsProcess(
                 n, initial=LoadConfiguration.balanced(n), seed=rng
             )
@@ -265,18 +280,21 @@ def run_e12_m_balls(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Exper
     ratios = params["ratios"]
     trials = params["trials"]
     rounds_factor = params["rounds_factor"]
-    rng = as_generator(seed)
+    engine = params["engine"]
+    seed_children = as_seed_sequence(seed).spawn(len(ratios))
 
     log_n = max(math.log(n), 1.0)
-    for ratio in ratios:
+    for point, ratio in enumerate(ratios):
         m = max(int(round(ratio * n)), 1)
         rounds = max(int(rounds_factor * n), 1)
-        maxima = []
-        for _ in range(trials):
-            process = RepeatedBallsIntoBins(
-                n, n_balls=m, initial=LoadConfiguration.balanced(n, m), seed=rng
-            )
-            maxima.append(process.run(rounds).max_load_seen)
+        ensemble = run_ensemble(
+            EnsembleSpec(
+                n_bins=n, n_replicas=trials, rounds=rounds, n_balls=m, start="balanced"
+            ),
+            seed=seed_children[point],
+            engine=engine,
+        )
+        maxima = ensemble.max_load_seen.astype(float)
         summary = summarize_trials(maxima)
         result.add_row(
             n=n,

@@ -69,6 +69,7 @@ register(
             "trials": 10,
             "rounds_factor": 4.0,
             "n_workers": 0,
+            "engine": "batched",
         },
         expected_shape="window max load grows ~ c*log n with c in [1, 4]; flat in the window length",
     ),
@@ -85,6 +86,7 @@ register(
             "trials": 10,
             "budget_factor": 20.0,
             "n_workers": 0,
+            "engine": "batched",
         },
         expected_shape="convergence time from the all-in-one start fits a power law with exponent ~1",
     ),
@@ -100,6 +102,7 @@ register(
             "sizes": [64, 256, 1024],
             "trials": 10,
             "rounds_factor": 4.0,
+            "engine": "batched",
         },
         expected_shape="worst per-trial empty fraction stays above 0.25",
     ),
@@ -208,6 +211,7 @@ register(
             "sizes": [64, 256, 1024, 4096],
             "trials": 10,
             "window_factor": 1.0,
+            "engine": "batched",
         },
         expected_shape="one-shot max tracks log n/log log n; repeated window max tracks log n (larger)",
     ),
@@ -223,6 +227,7 @@ register(
             "n": 256,
             "window_factors": [1, 4, 16, 64],
             "trials": 5,
+            "engine": "batched",
         },
         expected_shape="repeated process stays ~log n as the window grows; zero-drift surrogate keeps growing",
     ),
@@ -239,6 +244,7 @@ register(
             "ratios": [0.5, 1.0, 2.0, 4.0],
             "trials": 5,
             "rounds_factor": 4.0,
+            "engine": "batched",
         },
         expected_shape="stability persists for m <= n; excess load grows with m/n beyond m = n",
     ),

@@ -64,16 +64,25 @@ def report_scale_params(experiment_id: str) -> dict:
     return dict(_REPORT_PARAMS.get(experiment_id.upper(), {}))
 
 
+def _with_engine(experiment_id: str, params: dict, engine: Optional[str]) -> dict:
+    """Apply an engine override to experiments that route through run_ensemble."""
+    if engine is not None and "engine" in registry.get(experiment_id).spec.default_params:
+        params = dict(params)
+        params["engine"] = engine
+    return params
+
+
 def run_report_experiments(
     experiment_ids: Optional[Iterable[str]] = None,
     seed: SeedLike = 0,
+    engine: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run the selected experiments (default: all) at report scale."""
     ids = list(experiment_ids) if experiment_ids is not None else registry.all_ids()
     results = []
     for experiment_id in ids:
-        params = report_scale_params(experiment_id) or None
-        results.append(run_experiment(experiment_id, params=params, seed=seed))
+        params = _with_engine(experiment_id, report_scale_params(experiment_id), engine)
+        results.append(run_experiment(experiment_id, params=params or None, seed=seed))
     return results
 
 
@@ -116,6 +125,7 @@ def generate_full_report(
     experiment_ids: Optional[Iterable[str]] = None,
     seed: SeedLike = 0,
     preamble: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> str:
     """Run the experiments and render the report in one call (used by the script)."""
     ids = list(experiment_ids) if experiment_ids is not None else registry.all_ids()
@@ -123,8 +133,8 @@ def generate_full_report(
     elapsed: Dict[str, float] = {}
     for experiment_id in ids:
         start = time.perf_counter()
-        params = report_scale_params(experiment_id) or None
-        result = run_experiment(experiment_id, params=params, seed=seed)
+        params = _with_engine(experiment_id, report_scale_params(experiment_id), engine)
+        result = run_experiment(experiment_id, params=params or None, seed=seed)
         elapsed[result.experiment_id] = time.perf_counter() - start
         results.append(result)
     return generate_report(

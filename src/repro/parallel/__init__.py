@@ -1,12 +1,27 @@
 """Parallel Monte-Carlo execution substrate.
 
-Experiments are embarrassingly parallel across trials: the runner spawns
-independent seed sequences per trial (so results do not depend on the worker
-count), executes the trial function either sequentially or in a process
-pool, and aggregates the per-trial records.
+Experiments are embarrassingly parallel across trials.  Two engines cover
+the two workload shapes:
+
+* :func:`run_ensemble` — pure load-vector ensembles of the core process,
+  described by an :class:`EnsembleSpec` and executed either *batched* (one
+  ``(R, n)`` state advanced by flat numpy / native kernels, optionally
+  sharded across worker processes) or *sequentially* (one
+  ``RepeatedBallsIntoBins`` per replica through the trial runner).
+* :class:`TrialRunner` / :func:`run_trials` — arbitrary per-trial
+  functions (coupling runs, traversals, adversarial processes, ...)
+  executed in-process or in a process pool.
+
+Both paths spawn independent seed streams from one root seed and feed the
+same column-oriented aggregation helpers.  Sequential-engine results are
+independent of the worker count (one stream per trial); batched-engine
+results are deterministic for a fixed ``(seed, n_workers, kernel)``
+configuration but depend on the shard layout, which follows the effective
+worker count.
 """
 
-from .aggregate import TrialAggregate, aggregate_records
+from .aggregate import TrialAggregate, aggregate_ensemble, aggregate_records
+from .ensemble import ENGINES, EnsembleSpec, run_ensemble
 from .runner import TrialRunner, run_trials
 from .seeding import trial_seeds
 
@@ -16,4 +31,8 @@ __all__ = [
     "trial_seeds",
     "TrialAggregate",
     "aggregate_records",
+    "aggregate_ensemble",
+    "EnsembleSpec",
+    "run_ensemble",
+    "ENGINES",
 ]

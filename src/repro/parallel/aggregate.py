@@ -3,7 +3,10 @@
 Trial functions typically return either a scalar or a flat ``dict`` of
 scalars.  :func:`aggregate_records` stacks homogeneous dict records into a
 column-oriented :class:`TrialAggregate`, which then offers per-column
-summaries via :mod:`repro.analysis.statistics`.
+summaries via :mod:`repro.analysis.statistics`.  Batched-engine results
+(:class:`~repro.core.batched.EnsembleResult`) already hold their metrics as
+vectors; :func:`aggregate_ensemble` adapts them to the same column-oriented
+interface so downstream analysis is engine-agnostic.
 """
 
 from __future__ import annotations
@@ -14,9 +17,10 @@ from typing import Dict, List, Mapping, Sequence
 import numpy as np
 
 from ..analysis.statistics import TrialSummary, summarize_trials
+from ..core.batched import EnsembleResult
 from ..errors import ConfigurationError
 
-__all__ = ["TrialAggregate", "aggregate_records"]
+__all__ = ["TrialAggregate", "aggregate_records", "aggregate_ensemble"]
 
 
 @dataclass
@@ -81,3 +85,23 @@ def aggregate_records(records: Sequence[Mapping[str, float]]) -> TrialAggregate:
             value = record[k]
             columns[k].append(float(value) if value is not None else np.nan)
     return TrialAggregate(columns={k: np.asarray(v, dtype=float) for k, v in columns.items()})
+
+
+def aggregate_ensemble(result: EnsembleResult) -> TrialAggregate:
+    """Column-oriented view of a batched :class:`EnsembleResult`.
+
+    Each replica becomes one "trial"; the columns match the per-trial
+    records produced by the sequential ensemble engine, so summaries are
+    comparable across engines.  ``first_legitimate_round`` keeps the ``-1``
+    sentinel for replicas that never converged (filter on ``converged``).
+    """
+    return TrialAggregate(
+        columns={
+            "window_max_load": result.max_load_seen.astype(float),
+            "min_empty_bins": result.min_empty_bins_seen.astype(float),
+            "first_legitimate_round": result.first_legitimate_round.astype(float),
+            "rounds": result.rounds.astype(float),
+            "final_max_load": result.final_max_load.astype(float),
+            "converged": result.converged.astype(float),
+        }
+    )

@@ -1,0 +1,283 @@
+"""Engine selection for Monte-Carlo ensembles of the core process.
+
+This module is the single entry point experiments use to run "R independent
+replicas of repeated balls-into-bins" workloads.  An :class:`EnsembleSpec`
+describes the ensemble declaratively (size, start family, budget, early
+stop); :func:`run_ensemble` executes it through one of two engines:
+
+``engine="batched"`` (default)
+    One :class:`~repro.core.batched.BatchedRepeatedBallsIntoBins` advances
+    every replica per round with flat numpy kernels (or the compiled native
+    kernel).  With ``n_workers > 1`` very large ensembles are *sharded*:
+    each worker process simulates a contiguous slice of replicas with its
+    own spawned seed and the shard results are concatenated.
+``engine="sequential"``
+    The legacy per-trial path: each replica is an independent
+    :class:`~repro.core.process.RepeatedBallsIntoBins` run dispatched
+    through :class:`~repro.parallel.runner.TrialRunner` (and therefore
+    through the process pool when ``n_workers > 1``).  Kept for
+    cross-checking the batched engine and for workloads that are not pure
+    load-vector ensembles.
+
+Both engines return the same :class:`~repro.core.batched.EnsembleResult`
+schema, so callers are engine-agnostic.  Results are deterministic for a
+fixed ``(seed, engine, n_workers, kernel)`` tuple; the two engines draw
+their randomness differently, so they agree in distribution rather than
+trajectory-for-trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from .runner import TrialRunner
+from ..core.batched import (
+    BatchedRepeatedBallsIntoBins,
+    EnsembleResult,
+    INITIAL_KINDS,
+    make_ensemble_initial,
+)
+from ..core.config import DEFAULT_BETA, LoadConfiguration
+from ..core.process import RepeatedBallsIntoBins
+from ..errors import ConfigurationError
+from ..rng import as_seed_sequence
+from ..types import SeedLike
+
+__all__ = ["EnsembleSpec", "run_ensemble", "ENGINES"]
+
+#: Engine names accepted by :func:`run_ensemble` (``"auto"`` = batched).
+ENGINES = ("auto", "batched", "sequential")
+
+StartLike = Union[str, LoadConfiguration, np.ndarray]
+
+
+@dataclass(frozen=True, eq=False)  # eq=False: `start` may be an ndarray
+class EnsembleSpec:
+    """Declarative description of one Monte-Carlo ensemble.
+
+    Attributes
+    ----------
+    n_bins, n_replicas, rounds:
+        System size, ensemble size, and round budget per replica.
+    n_balls:
+        Balls per replica (``None`` means ``n_bins``, the paper's setting).
+    start:
+        A named start family (one of :data:`~repro.core.batched.INITIAL_KINDS`),
+        a single configuration applied to every replica, or a 2-D
+        ``(R, n)`` matrix of per-replica starts.
+    beta:
+        Legitimacy constant for metrics and early stopping.
+    stop_when_legitimate:
+        Freeze each replica once it reaches a legitimate configuration
+        (convergence-time experiments).
+    warmup_rounds:
+        Rounds simulated *before* metric tracking starts (e.g. Lemma 2 only
+        claims the empty-bins bound after the first round).
+    """
+
+    n_bins: int
+    n_replicas: int
+    rounds: int
+    n_balls: Optional[int] = None
+    start: StartLike = "balanced"
+    beta: float = DEFAULT_BETA
+    stop_when_legitimate: bool = False
+    warmup_rounds: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_bins < 1:
+            raise ConfigurationError(f"n_bins must be >= 1, got {self.n_bins}")
+        if self.n_replicas < 1:
+            raise ConfigurationError(
+                f"n_replicas must be >= 1, got {self.n_replicas}"
+            )
+        if self.rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {self.rounds}")
+        if self.warmup_rounds < 0:
+            raise ConfigurationError(
+                f"warmup_rounds must be >= 0, got {self.warmup_rounds}"
+            )
+        if isinstance(self.start, str) and self.start not in INITIAL_KINDS:
+            raise ConfigurationError(
+                f"unknown start {self.start!r}; expected one of {INITIAL_KINDS} "
+                "or an explicit configuration"
+            )
+
+
+def _replica_initial(
+    spec: EnsembleSpec, replica_index: int, seed: np.random.SeedSequence
+) -> Union[LoadConfiguration, np.ndarray]:
+    """The starting configuration of one replica (sequential engine)."""
+    start = spec.start
+    if isinstance(start, str):
+        if start == "random_uniform":
+            return LoadConfiguration.random_uniform(
+                spec.n_bins, n_balls=spec.n_balls, seed=np.random.default_rng(seed)
+            )
+        maker = getattr(LoadConfiguration, start)
+        return maker(spec.n_bins, n_balls=spec.n_balls)
+    if isinstance(start, LoadConfiguration):
+        return start
+    arr = np.asarray(start)
+    return arr[replica_index] if arr.ndim == 2 else arr
+
+
+def _shard_initial(
+    spec: EnsembleSpec, lo: int, hi: int, seed: np.random.SeedSequence
+) -> Union[LoadConfiguration, np.ndarray, None]:
+    """The ``(hi - lo, n)`` starting block of one shard (batched engine)."""
+    start = spec.start
+    if isinstance(start, str):
+        if start == "balanced" and spec.n_balls is None:
+            return None  # the batched constructor's default
+        return make_ensemble_initial(
+            start, spec.n_bins, hi - lo, n_balls=spec.n_balls, seed=seed
+        )
+    if isinstance(start, LoadConfiguration):
+        return start
+    arr = np.asarray(start)
+    return arr[lo:hi] if arr.ndim == 2 else arr
+
+
+# ----------------------------------------------------------------------
+# Sequential engine (module-level trial function: picklable for the pool)
+# ----------------------------------------------------------------------
+def _sequential_ensemble_trial(trial_index, seed, spec: EnsembleSpec) -> dict:
+    init_seq, sim_seq = seed.spawn(2)
+    process = RepeatedBallsIntoBins(
+        spec.n_bins,
+        initial=_replica_initial(spec, trial_index, init_seq),
+        seed=np.random.default_rng(sim_seq),
+    )
+    if spec.warmup_rounds:
+        process.run(spec.warmup_rounds, beta=spec.beta)
+    if spec.stop_when_legitimate and process.is_legitimate(spec.beta):
+        # mirror RepeatedBallsIntoBins.run_until_legitimate's pre-check
+        return {
+            "rounds": 0,
+            "window_max_load": 0,
+            "min_empty_bins": process.num_empty_bins,
+            "first_legitimate_round": process.round_index,
+            "final_loads": np.array(process.loads, copy=True),
+        }
+    outcome = process.run(
+        spec.rounds, beta=spec.beta, stop_when_legitimate=spec.stop_when_legitimate
+    )
+    first = outcome.first_legitimate_round
+    return {
+        "rounds": outcome.rounds,
+        "window_max_load": outcome.max_load_seen,
+        "min_empty_bins": outcome.min_empty_bins_seen,
+        "first_legitimate_round": -1 if first is None else first,
+        "final_loads": np.array(process.loads, copy=True),
+    }
+
+
+def _run_sequential(
+    spec: EnsembleSpec, seed: SeedLike, n_workers: int
+) -> EnsembleResult:
+    runner = TrialRunner(n_workers=n_workers)
+    records = runner.run(
+        _sequential_ensemble_trial,
+        spec.n_replicas,
+        seed=seed,
+        kwargs={"spec": spec},
+    )
+    return EnsembleResult(
+        n_bins=spec.n_bins,
+        rounds=np.asarray([r["rounds"] for r in records], dtype=np.int64),
+        final_loads=np.vstack([r["final_loads"] for r in records]),
+        max_load_seen=np.asarray(
+            [r["window_max_load"] for r in records], dtype=np.int64
+        ),
+        min_empty_bins_seen=np.asarray(
+            [r["min_empty_bins"] for r in records], dtype=np.int64
+        ),
+        first_legitimate_round=np.asarray(
+            [r["first_legitimate_round"] for r in records], dtype=np.int64
+        ),
+        beta=spec.beta,
+        kernel="sequential",
+    )
+
+
+# ----------------------------------------------------------------------
+# Batched engine (module-level shard function: picklable for the pool)
+# ----------------------------------------------------------------------
+def _batched_ensemble_shard(
+    shard_index, seed, spec: EnsembleSpec, bounds, kernel: str
+) -> EnsembleResult:
+    lo, hi = bounds[shard_index]
+    init_seq, sim_seq = seed.spawn(2)
+    initial = _shard_initial(spec, lo, hi, init_seq)
+    batch = BatchedRepeatedBallsIntoBins(
+        spec.n_bins,
+        hi - lo,
+        n_balls=spec.n_balls if initial is None else None,
+        initial=initial,
+        seed=sim_seq,
+        kernel=kernel,
+    )
+    if spec.warmup_rounds:
+        batch.run(spec.warmup_rounds, beta=spec.beta)
+    return batch.run(
+        spec.rounds, beta=spec.beta, stop_when_legitimate=spec.stop_when_legitimate
+    )
+
+
+def _run_batched(
+    spec: EnsembleSpec, seed: SeedLike, n_workers: int, kernel: str
+) -> EnsembleResult:
+    runner = TrialRunner(n_workers=n_workers)
+    n_shards = max(min(runner.effective_workers, spec.n_replicas), 1)
+    edges = np.linspace(0, spec.n_replicas, n_shards + 1).astype(int)
+    bounds = [(int(edges[s]), int(edges[s + 1])) for s in range(n_shards)]
+    shards = runner.run(
+        _batched_ensemble_shard,
+        n_shards,
+        seed=seed,
+        kwargs={"spec": spec, "bounds": bounds, "kernel": kernel},
+    )
+    return EnsembleResult.concatenate(shards)
+
+
+def run_ensemble(
+    spec: EnsembleSpec,
+    seed: SeedLike = None,
+    engine: str = "auto",
+    n_workers: int = 0,
+    kernel: str = "auto",
+) -> EnsembleResult:
+    """Run one ensemble through the selected engine.
+
+    Parameters
+    ----------
+    spec:
+        The declarative ensemble description.
+    seed:
+        Root seed; per-replica (sequential) or per-shard (batched) streams
+        are spawned from it, so results are reproducible for a fixed
+        engine configuration.
+    engine:
+        ``"batched"``, ``"sequential"``, or ``"auto"`` (batched).
+    n_workers:
+        ``0``/``1`` for in-process execution; ``> 1`` enables the process
+        pool — per-trial for the sequential engine, per-shard for the
+        batched engine.
+    kernel:
+        Kernel selection forwarded to the batched engine
+        (``"auto"``/``"numpy"``/``"native"``).
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    # normalize to a SeedSequence up front so both engines spawn from the
+    # same root entropy
+    root = as_seed_sequence(seed)
+    if engine == "sequential":
+        return _run_sequential(spec, root, n_workers)
+    return _run_batched(spec, root, n_workers, kernel)

@@ -2,15 +2,17 @@
 
 The runner executes ``trial_fn(trial_index, seed_sequence, **kwargs)`` for
 ``n_trials`` independent trials.  The trial function must be picklable
-(module-level) for process-pool execution; closures fall back to sequential
-execution automatically.  Results are returned in trial order regardless of
-completion order.
+(module-level) for process-pool execution; when parallelism was requested
+but the function or its kwargs cannot be pickled, the runner falls back to
+sequential execution and emits a ``RuntimeWarning`` (never silently).
+Results are returned in trial order regardless of completion order.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
@@ -84,12 +86,25 @@ class TrialRunner:
         seeds = trial_seeds(seed, n_trials)
 
         workers = self.effective_workers
-        use_pool = (
-            workers > 1
-            and n_trials > 1
-            and _is_picklable(trial_fn)
-            and _is_picklable(kwargs)
-        )
+        parallelism_requested = (self.n_workers or 0) > 1 and n_trials > 1
+        picklable = True
+        if parallelism_requested:
+            unpicklable = [
+                name
+                for name, obj in (("trial_fn", trial_fn), ("kwargs", kwargs))
+                if not _is_picklable(obj)
+            ]
+            if unpicklable:
+                picklable = False
+                warnings.warn(
+                    f"TrialRunner: {' and '.join(unpicklable)} cannot be "
+                    f"pickled; falling back to sequential execution despite "
+                    f"n_workers={self.n_workers} (move the trial function to "
+                    "module level to enable the process pool)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        use_pool = workers > 1 and n_trials > 1 and picklable
         if not use_pool:
             return [trial_fn(i, seeds[i], **kwargs) for i in range(n_trials)]
 

@@ -99,7 +99,7 @@ class TestTrialRunner:
         results = run_trials(_picklable_trial, 3, seed=0, scale=10)
         assert all(0 <= r["value"] <= 10 for r in results)
 
-    def test_closure_falls_back_to_sequential(self):
+    def test_closure_falls_back_to_sequential_with_warning(self):
         captured = []
 
         def closure_trial(i, seed):
@@ -107,9 +107,18 @@ class TestTrialRunner:
             return i
 
         runner = TrialRunner(n_workers=4)
-        results = runner.run(closure_trial, 4, seed=0)
+        with pytest.warns(RuntimeWarning, match="cannot be pickled"):
+            results = runner.run(closure_trial, 4, seed=0)
         assert results == [0, 1, 2, 3]
         assert captured == [0, 1, 2, 3]
+
+    def test_no_warning_when_sequential_requested(self, recwarn):
+        def closure_trial(i, seed):
+            return i
+
+        results = TrialRunner(n_workers=0).run(closure_trial, 3, seed=0)
+        assert results == [0, 1, 2]
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
 
     def test_zero_trials(self):
         assert run_trials(_picklable_trial, 0, seed=0) == []
