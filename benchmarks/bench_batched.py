@@ -1,11 +1,23 @@
-"""Throughput benchmark: batched ensemble engine vs per-trial sequential.
+"""Throughput benchmark: batched ensembles vs per-trial sequential execution.
 
-Simulates the acceptance scenario of the batched-engine refactor — an
-ensemble of ``R = 256`` replicas at ``n = 1024`` over ``2000`` rounds —
-through both engines and reports wall-clock plus replica-round throughput.
-The batched engine must be at least 10x faster than per-trial sequential
-execution when the compiled native kernel is available; the pure-numpy
-batched kernel must still beat sequential execution.
+Three scenarios cover the three batched process families at the acceptance
+scale of ``R = 256`` replicas and ``n = 1024`` bins:
+
+``plain``
+    The repeated balls-into-bins process over 2000 rounds.  The native
+    batched kernel must be at least 10x faster than per-trial sequential
+    execution; the pure-numpy batched kernel must still beat sequential.
+``greedy_d``
+    The repeated Greedy[d] allocator (``d = 2``).  Batching turns the
+    Python-level placement loop from ``sum_r h_r`` iterations per round
+    into ``max_r h_r``, so the (numpy-only) batched process must be at
+    least 10x faster than per-trial sequential execution regardless of the
+    native kernel.
+``adversarial``
+    The plain process under a periodic concentrate adversary.  Fault
+    injection segments the run between faults, so the native kernel's
+    whole-window speedup carries over: at least 10x over per-trial
+    sequential execution when the native kernel is available.
 
 Run standalone::
 
@@ -29,38 +41,86 @@ N_REPLICAS = 256
 ROUNDS = 2000
 SEED = 0
 
+#: Rounds for the Greedy[2] scenario (its sequential baseline pays a Python
+#: iteration per ball per replica, so a short window is already conclusive).
+DCHOICES_ROUNDS = 12
+#: Rounds / fault period for the adversarial scenario (4 faults per run).
+FAULTY_ROUNDS = 1000
+FAULT_PERIOD = 250
+
 #: Speedup the native batched kernel must reach over per-trial sequential.
 NATIVE_TARGET = 10.0
 #: The numpy batched kernel must at least beat per-trial sequential.
 NUMPY_TARGET = 1.2
+#: Batched Greedy[d] / adversarial ensembles must reach 10x as well.
+DCHOICES_TARGET = 10.0
+FAULTY_TARGET = 10.0
 
 
-def _spec() -> EnsembleSpec:
+def _plain_spec() -> EnsembleSpec:
     return EnsembleSpec(
         n_bins=N_BINS, n_replicas=N_REPLICAS, rounds=ROUNDS, start="balanced"
     )
 
 
-def _timed(engine: str, kernel: str = "auto") -> float:
+def _dchoices_spec() -> EnsembleSpec:
+    return EnsembleSpec(
+        n_bins=N_BINS,
+        n_replicas=N_REPLICAS,
+        rounds=DCHOICES_ROUNDS,
+        start="balanced",
+        process="d_choices",
+        d=2,
+    )
+
+
+def _faulty_spec() -> EnsembleSpec:
+    return EnsembleSpec(
+        n_bins=N_BINS,
+        n_replicas=N_REPLICAS,
+        rounds=FAULTY_ROUNDS,
+        start="balanced",
+        process="faulty",
+        adversary="concentrate",
+        fault_period=FAULT_PERIOD,
+    )
+
+
+def _timed(spec: EnsembleSpec, engine: str, kernel: str = "auto") -> float:
     start = time.perf_counter()
-    result = run_ensemble(_spec(), seed=SEED, engine=engine, kernel=kernel)
+    result = run_ensemble(spec, seed=SEED, engine=engine, kernel=kernel)
     elapsed = time.perf_counter() - start
     assert result.n_replicas == N_REPLICAS
-    assert (result.rounds == ROUNDS).all()
+    assert (result.rounds == spec.rounds).all()
     return elapsed
 
 
 def measure() -> Dict[str, float]:
-    """Time all engine/kernel combinations once and derive speedups."""
+    """Time every scenario/engine combination once and derive speedups."""
     timings: Dict[str, float] = {}
-    timings["sequential_s"] = _timed("sequential")
-    timings["batched_numpy_s"] = _timed("batched", kernel="numpy")
+    plain = _plain_spec()
+    timings["sequential_s"] = _timed(plain, "sequential")
+    timings["batched_numpy_s"] = _timed(plain, "batched", kernel="numpy")
     timings["numpy_speedup"] = timings["sequential_s"] / timings["batched_numpy_s"]
     if native_available():
-        timings["batched_native_s"] = _timed("batched", kernel="native")
+        timings["batched_native_s"] = _timed(plain, "batched", kernel="native")
         timings["native_speedup"] = (
             timings["sequential_s"] / timings["batched_native_s"]
         )
+
+    dchoices = _dchoices_spec()
+    timings["dchoices_sequential_s"] = _timed(dchoices, "sequential")
+    timings["dchoices_batched_s"] = _timed(dchoices, "batched")
+    timings["dchoices_speedup"] = (
+        timings["dchoices_sequential_s"] / timings["dchoices_batched_s"]
+    )
+
+    faulty = _faulty_spec()
+    timings["faulty_sequential_s"] = _timed(faulty, "sequential")
+    timings["faulty_batched_s"] = _timed(faulty, "batched")
+    timings["faulty_speedup"] = (
+        timings["faulty_sequential_s"] / timings["faulty_batched_s"]
+    )
     return timings
 
 
@@ -70,16 +130,24 @@ def test_batched_engine_speedup():
         f"numpy batched kernel slower than expected: "
         f"{timings['numpy_speedup']:.2f}x < {NUMPY_TARGET}x"
     )
+    assert timings["dchoices_speedup"] >= DCHOICES_TARGET, (
+        f"batched Greedy[2] below the {DCHOICES_TARGET}x target: "
+        f"{timings['dchoices_speedup']:.2f}x"
+    )
     if "native_speedup" not in timings:
         import pytest
 
         pytest.skip(
             f"native kernel unavailable ({native_status()}); the {NATIVE_TARGET}x "
-            "target requires the compiled kernel"
+            "plain and adversarial targets require the compiled kernel"
         )
     assert timings["native_speedup"] >= NATIVE_TARGET, (
         f"native batched kernel below the {NATIVE_TARGET}x target: "
         f"{timings['native_speedup']:.2f}x"
+    )
+    assert timings["faulty_speedup"] >= FAULTY_TARGET, (
+        f"batched adversarial ensemble below the {FAULTY_TARGET}x target: "
+        f"{timings['faulty_speedup']:.2f}x"
     )
 
 
@@ -88,51 +156,87 @@ def main() -> int:
 
     Returns a non-zero exit code when a target is missed, so CI needs only
     this one invocation (the pytest entry point above exists for local
-    ``pytest benchmarks/`` runs and simulates the same scenario).
+    ``pytest benchmarks/`` runs and simulates the same scenarios).
     """
-    replica_rounds = N_REPLICAS * ROUNDS
     print(
-        f"ensemble: R={N_REPLICAS} replicas, n={N_BINS} bins, "
-        f"{ROUNDS} rounds ({replica_rounds:,} replica-rounds)"
+        f"ensembles: R={N_REPLICAS} replicas, n={N_BINS} bins "
+        f"(plain: {ROUNDS} rounds; Greedy[2]: {DCHOICES_ROUNDS} rounds; "
+        f"adversarial: {FAULTY_ROUNDS} rounds, fault every {FAULT_PERIOD})"
     )
     print(f"native kernel: {native_status()}")
     timings = measure()
-    rows = [("sequential (per-trial)", timings["sequential_s"], 1.0)]
-    rows.append(
+
+    rows = [
+        ("plain / sequential", timings["sequential_s"], ROUNDS, 1.0),
         (
-            "batched / numpy kernel",
+            "plain / batched numpy",
             timings["batched_numpy_s"],
+            ROUNDS,
             timings["numpy_speedup"],
-        )
-    )
+        ),
+    ]
     if "batched_native_s" in timings:
         rows.append(
             (
-                "batched / native kernel",
+                "plain / batched native",
                 timings["batched_native_s"],
+                ROUNDS,
                 timings["native_speedup"],
             )
         )
-    print(f"{'engine':28s} {'wall clock':>12s} {'replica-rounds/s':>18s} {'speedup':>9s}")
-    for label, elapsed, speedup in rows:
+    rows += [
+        ("greedy[2] / sequential", timings["dchoices_sequential_s"], DCHOICES_ROUNDS, 1.0),
+        (
+            "greedy[2] / batched",
+            timings["dchoices_batched_s"],
+            DCHOICES_ROUNDS,
+            timings["dchoices_speedup"],
+        ),
+        ("adversarial / sequential", timings["faulty_sequential_s"], FAULTY_ROUNDS, 1.0),
+        (
+            "adversarial / batched",
+            timings["faulty_batched_s"],
+            FAULTY_ROUNDS,
+            timings["faulty_speedup"],
+        ),
+    ]
+    print(
+        f"{'scenario / engine':28s} {'wall clock':>12s} "
+        f"{'replica-rounds/s':>18s} {'speedup':>9s}"
+    )
+    for label, elapsed, rounds, speedup in rows:
         print(
-            f"{label:28s} {elapsed:10.2f} s {replica_rounds / elapsed:18,.0f} "
-            f"{speedup:8.1f}x"
+            f"{label:28s} {elapsed:10.2f} s "
+            f"{N_REPLICAS * rounds / elapsed:18,.0f} {speedup:8.1f}x"
         )
+
     failures = []
     if timings["numpy_speedup"] < NUMPY_TARGET:
         failures.append(
-            f"numpy kernel speedup {timings['numpy_speedup']:.2f}x "
+            f"plain numpy kernel speedup {timings['numpy_speedup']:.2f}x "
             f"< {NUMPY_TARGET}x target"
+        )
+    if timings["dchoices_speedup"] < DCHOICES_TARGET:
+        failures.append(
+            f"batched Greedy[2] speedup {timings['dchoices_speedup']:.2f}x "
+            f"< {DCHOICES_TARGET}x target"
         )
     if "native_speedup" in timings:
         if timings["native_speedup"] < NATIVE_TARGET:
             failures.append(
-                f"native kernel speedup {timings['native_speedup']:.2f}x "
+                f"plain native kernel speedup {timings['native_speedup']:.2f}x "
                 f"< {NATIVE_TARGET}x target"
             )
+        if timings["faulty_speedup"] < FAULTY_TARGET:
+            failures.append(
+                f"batched adversarial speedup {timings['faulty_speedup']:.2f}x "
+                f"< {FAULTY_TARGET}x target"
+            )
     else:
-        print(f"note: native kernel unavailable; {NATIVE_TARGET}x target not checked")
+        print(
+            f"note: native kernel unavailable; the {NATIVE_TARGET}x plain and "
+            "adversarial targets are not checked"
+        )
     for failure in failures:
         print(f"FAILED: {failure}")
     return 1 if failures else 0

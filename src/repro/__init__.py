@@ -20,6 +20,7 @@ True
 
 from .adversary import (
     Adversary,
+    BatchedFaultyProcess,
     ConcentrateAdversary,
     FaultSchedule,
     FaultyProcess,
@@ -27,12 +28,16 @@ from .adversary import (
     ShuffleAdversary,
 )
 from .baselines import (
+    BatchedDChoices,
     DChoicesProcess,
     IndependentThrowsProcess,
+    batched_one_shot_d_choices_max_load,
     one_shot_max_load,
     theoretical_one_shot_max_load,
 )
 from .core import (
+    BatchedLoadProcess,
+    BatchedProcess,
     BatchedRepeatedBallsIntoBins,
     CoupledRun,
     CouplingResult,
@@ -74,6 +79,8 @@ __all__ = [
     "legitimacy_threshold",
     "RepeatedBallsIntoBins",
     "SimulationResult",
+    "BatchedProcess",
+    "BatchedLoadProcess",
     "BatchedRepeatedBallsIntoBins",
     "EnsembleResult",
     "make_ensemble_initial",
@@ -106,10 +113,13 @@ __all__ = [
     "ShuffleAdversary",
     "FaultSchedule",
     "FaultyProcess",
+    "BatchedFaultyProcess",
     # baselines
     "one_shot_max_load",
     "theoretical_one_shot_max_load",
     "DChoicesProcess",
+    "BatchedDChoices",
+    "batched_one_shot_d_choices_max_load",
     "IndependentThrowsProcess",
     # experiments
     "run_experiment",

@@ -8,8 +8,11 @@ up to constants, because the linear self-stabilization time (Theorem 1)
 absorbs each fault.
 
 :mod:`repro.adversary.adversaries` provides concrete reassignment
-strategies; :mod:`repro.adversary.faulty_process` wraps any load-level
-process with periodic (or externally triggered) fault injection.
+strategies (single-vector and vectorized ``(R, n)`` batch forms);
+:mod:`repro.adversary.faulty_process` wraps any load-level process with
+periodic (or externally triggered) fault injection, and
+:mod:`repro.adversary.batched` does the same for whole batched ensembles
+at once.
 """
 
 from .adversaries import (
@@ -18,8 +21,10 @@ from .adversaries import (
     PyramidAdversary,
     ShuffleAdversary,
     TargetHeaviestAdversary,
+    available_adversaries,
     get_adversary,
 )
+from .batched import BatchedFaultyProcess, BatchedFaultyResult
 from .faulty_process import FaultSchedule, FaultyProcess, FaultyRunResult
 
 __all__ = [
@@ -28,8 +33,11 @@ __all__ = [
     "PyramidAdversary",
     "ShuffleAdversary",
     "TargetHeaviestAdversary",
+    "available_adversaries",
     "get_adversary",
     "FaultSchedule",
     "FaultyProcess",
     "FaultyRunResult",
+    "BatchedFaultyProcess",
+    "BatchedFaultyResult",
 ]

@@ -5,6 +5,15 @@ An adversary takes the current load vector and returns a new one with the
 the constraint of the Section 4.1 fault model).  Strategies range from the
 worst case for convergence time (concentrate everything in one bin) to a
 mild reshuffle (random permutation of bin labels).
+
+Every adversary operates at two granularities: :meth:`Adversary.reassign`
+rewrites one load vector, and :meth:`Adversary.apply_batch` rewrites a
+whole ``(R, n)`` ensemble matrix at once — each replica is attacked
+independently, with the ball-conservation constraint enforced per replica.
+The concrete strategies override :meth:`Adversary.reassign_batch` with
+fully vectorized implementations; custom subclasses that only implement
+``reassign`` fall back to a row-wise loop and still get the batch
+validation for free.
 """
 
 from __future__ import annotations
@@ -38,6 +47,18 @@ class Adversary(ABC):
     def reassign(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
         """Return a new load vector with the same total as ``loads``."""
 
+    def reassign_batch(
+        self, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return a new ``(R, n)`` matrix; each row conserves its own total.
+
+        The default falls back to calling :meth:`reassign` row by row;
+        concrete strategies override this with vectorized implementations.
+        """
+        return np.stack(
+            [np.asarray(self.reassign(row, rng)) for row in np.asarray(loads)]
+        )
+
     def __call__(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
         result = np.asarray(self.reassign(loads, rng), dtype=np.int64)
         if result.shape != np.asarray(loads).shape:
@@ -52,6 +73,41 @@ class Adversary(ABC):
             raise ConfigurationError(f"{type(self).__name__} produced negative loads")
         return result
 
+    def apply_batch(
+        self, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Reassign every replica of an ``(R, n)`` matrix, validated.
+
+        The Section 4.1 constraint is enforced *per replica*: the returned
+        matrix must have the same shape, row sums identical to the input's
+        (no ball created or destroyed in any replica), and no negative
+        loads.
+        """
+        loads = np.asarray(loads)
+        if loads.ndim != 2:
+            raise ConfigurationError(
+                f"apply_batch expects an (R, n) matrix, got ndim={loads.ndim}"
+            )
+        result = np.asarray(self.reassign_batch(loads, rng), dtype=np.int64)
+        if result.shape != loads.shape:
+            raise ConfigurationError(
+                f"{type(self).__name__} changed the ensemble shape "
+                f"({loads.shape} -> {result.shape})"
+            )
+        before = loads.sum(axis=1)
+        after = result.sum(axis=1)
+        if not np.array_equal(before, after):
+            bad = int(np.flatnonzero(before != after)[0])
+            raise ConfigurationError(
+                f"{type(self).__name__} did not conserve balls in replica "
+                f"{bad}: {int(before[bad])} -> {int(after[bad])}"
+            )
+        if np.any(result < 0):
+            raise ConfigurationError(
+                f"{type(self).__name__} produced negative loads"
+            )
+        return result
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -60,7 +116,8 @@ class ConcentrateAdversary(Adversary):
     """Move every ball into a single bin — the worst case for convergence.
 
     The target bin is chosen uniformly at random each fault (a fixed target
-    would be equivalent for the anonymous process).
+    would be equivalent for the anonymous process); in a batch every
+    replica draws its own target.
     """
 
     name = "concentrate"
@@ -69,6 +126,16 @@ class ConcentrateAdversary(Adversary):
         loads = np.asarray(loads)
         out = np.zeros_like(loads)
         out[int(rng.integers(0, loads.size))] = int(loads.sum())
+        return out
+
+    def reassign_batch(
+        self, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        loads = np.asarray(loads)
+        R, n = loads.shape
+        out = np.zeros_like(loads)
+        targets = rng.integers(0, n, size=R)
+        out[np.arange(R), targets] = loads.sum(axis=1)
         return out
 
 
@@ -83,6 +150,20 @@ class PyramidAdversary(Adversary):
         total = int(loads.sum())
         return LoadConfiguration.pyramid(loads.size, total).as_array()
 
+    def reassign_batch(
+        self, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        loads = np.asarray(loads)
+        R, n = loads.shape
+        totals = loads.sum(axis=1)
+        out = np.empty_like(loads)
+        # the pyramid shape depends only on the total; build each distinct
+        # total once (ensembles usually share one ball count per replica)
+        for total in np.unique(totals):
+            row = LoadConfiguration.pyramid(n, int(total)).as_array()
+            out[totals == total] = row
+        return out
+
 
 class ShuffleAdversary(Adversary):
     """Permute bin labels uniformly at random — preserves the load multiset,
@@ -93,6 +174,12 @@ class ShuffleAdversary(Adversary):
     def reassign(self, loads: LoadVector, rng: np.random.Generator) -> np.ndarray:
         loads = np.asarray(loads)
         return loads[rng.permutation(loads.size)]
+
+    def reassign_batch(
+        self, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        # one independent permutation per replica, in a single call
+        return rng.permuted(np.asarray(loads), axis=1)
 
 
 class TargetHeaviestAdversary(Adversary):
@@ -131,6 +218,27 @@ class TargetHeaviestAdversary(Adversary):
             loads[target] += take
             to_move -= take
         return loads
+
+    def reassign_batch(
+        self, loads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        loads = np.array(loads, dtype=np.int64, copy=True)
+        R, n = loads.shape
+        totals = loads.sum(axis=1)
+        quotas = (self.fraction * totals).astype(np.int64)
+        targets = loads.argmax(axis=1)
+        # visit donors in descending-load order (excluding each replica's
+        # target); the amount taken from donor i is the part of the quota
+        # not yet covered by the donors before it, clipped to its load
+        order = np.argsort(loads, axis=1)[:, ::-1]
+        sorted_loads = np.take_along_axis(loads, order, axis=1)
+        donor_loads = np.where(order == targets[:, None], 0, sorted_loads)
+        taken_before = np.cumsum(donor_loads, axis=1) - donor_loads
+        take = np.clip(quotas[:, None] - taken_before, 0, donor_loads)
+        out = np.empty_like(loads)
+        np.put_along_axis(out, order, sorted_loads - take, axis=1)
+        out[np.arange(R), targets] += take.sum(axis=1)
+        return out
 
 
 _REGISTRY: Dict[str, Type] = {

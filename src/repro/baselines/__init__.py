@@ -13,7 +13,13 @@
 """
 
 from .birth_death import IndependentThrowsProcess, sqrt_t_envelope
-from .d_choices import DChoicesProcess, one_shot_d_choices_max_load
+from .d_choices import (
+    BatchedDChoices,
+    DChoicesProcess,
+    batched_one_shot_d_choices_max_load,
+    one_shot_d_choices_max_load,
+    theoretical_d_choices_max_load,
+)
 from .one_shot import (
     one_shot_max_load,
     one_shot_max_load_trials,
@@ -25,7 +31,10 @@ __all__ = [
     "one_shot_max_load_trials",
     "theoretical_one_shot_max_load",
     "DChoicesProcess",
+    "BatchedDChoices",
     "one_shot_d_choices_max_load",
+    "batched_one_shot_d_choices_max_load",
+    "theoretical_d_choices_max_load",
     "IndependentThrowsProcess",
     "sqrt_t_envelope",
 ]

@@ -9,7 +9,13 @@ for traversal/cover-time experiments (Section 4), and the metric/observer
 machinery shared by all of them.
 """
 
-from .batched import BatchedRepeatedBallsIntoBins, EnsembleResult, make_ensemble_initial
+from .batched import (
+    BatchedLoadProcess,
+    BatchedProcess,
+    BatchedRepeatedBallsIntoBins,
+    EnsembleResult,
+    make_ensemble_initial,
+)
 from .config import LoadConfiguration, legitimacy_threshold
 from .coupling import CoupledRun, CouplingResult
 from .native import native_available, native_status
@@ -38,6 +44,8 @@ __all__ = [
     "legitimacy_threshold",
     "RepeatedBallsIntoBins",
     "SimulationResult",
+    "BatchedProcess",
+    "BatchedLoadProcess",
     "BatchedRepeatedBallsIntoBins",
     "EnsembleResult",
     "make_ensemble_initial",

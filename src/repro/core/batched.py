@@ -1,15 +1,28 @@
-"""Batched ensemble simulation of the repeated balls-into-bins process.
+"""Batched ensemble simulation: R replicas as one vectorized ``(R, n)`` state.
 
 Every empirical claim in the paper is a statement about *distributions over
 runs* (max-load tails, convergence-time quantiles, empty-bin counts), so the
 real workload of this repository is Monte-Carlo ensembles.  This module
-simulates ``R`` independent replicas of the process as one ``(R, n)`` load
-matrix: a round advances **all** replicas with a single flat random draw
-plus one ``np.bincount`` over the combined index space (each replica's
-destinations are offset by ``r * n``), instead of ``R`` separate Python-level
-simulations.
+provides the batched-process layer those ensembles run on:
 
-Two kernels drive the update:
+:class:`BatchedProcess`
+    The structural protocol every batched process implements: ``(R, n)``
+    loads, per-replica metric reducers, ``step``/``run`` dynamics returning
+    an :class:`EnsembleResult`.
+:class:`BatchedLoadProcess`
+    The shared machinery — state validation, per-replica round counters and
+    freeze masks, the window-metric ``run`` loop, ball-conservation checks,
+    and fault injection via :meth:`~BatchedLoadProcess.inject_loads`.
+    Subclasses implement one method (:meth:`~BatchedLoadProcess._advance`)
+    to define their round dynamics; ``repro.baselines.d_choices`` uses this
+    to batch the Greedy[d] allocator.
+:class:`BatchedRepeatedBallsIntoBins`
+    The paper's process.  A round advances **all** replicas with a single
+    flat random draw plus one ``np.bincount`` over the combined index space
+    (each replica's destinations are offset by ``r * n``), instead of ``R``
+    separate Python-level simulations.
+
+Two kernels drive the repeated balls-into-bins update:
 
 ``numpy`` (reference)
     Pure-numpy, and **stream-compatible** with
@@ -25,14 +38,27 @@ Two kernels drive the update:
     the order-of-magnitude ensemble speedups come from.
 
 ``kernel="auto"`` (the default) uses the native kernel when a C compiler is
-available and falls back to numpy silently otherwise.
+available and falls back to numpy silently otherwise.  Set the environment
+variable ``REPRO_NATIVE=0`` to force the numpy kernel everywhere.
+
+Example
+-------
+Ball counts are conserved per replica and every metric is a length-``R``
+vector:
+
+>>> ensemble = BatchedRepeatedBallsIntoBins(8, 4, seed=0, kernel="numpy")
+>>> result = ensemble.run(16)
+>>> result.final_loads.sum(axis=1).tolist()
+[8, 8, 8, 8]
+>>> result.max_load_seen.shape
+(4,)
 """
 
 from __future__ import annotations
 
 import ctypes
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Protocol, Union, runtime_checkable
 
 import numpy as np
 
@@ -43,6 +69,8 @@ from ..rng import as_seed_sequence
 from ..types import SeedLike
 
 __all__ = [
+    "BatchedProcess",
+    "BatchedLoadProcess",
     "BatchedRepeatedBallsIntoBins",
     "EnsembleResult",
     "make_ensemble_initial",
@@ -72,6 +100,11 @@ def make_ensemble_initial(
     :class:`LoadConfiguration` constructor across replicas;
     ``random_uniform`` throws each replica's balls independently with a
     single flat draw.
+
+    >>> make_ensemble_initial("balanced", 4, 2).tolist()
+    [[1, 1, 1, 1], [1, 1, 1, 1]]
+    >>> make_ensemble_initial("all_in_one", 4, 2, n_balls=3).tolist()
+    [[3, 0, 0, 0], [3, 0, 0, 0]]
     """
     if n_replicas < 1:
         raise ConfigurationError(f"n_replicas must be >= 1, got {n_replicas}")
@@ -80,12 +113,11 @@ def make_ensemble_initial(
         if m < 0:
             raise ConfigurationError(f"n_balls must be >= 0, got {m}")
         rng = np.random.default_rng(as_seed_sequence(seed))
-        destinations = rng.integers(0, n_bins, size=n_replicas * m)
-        destinations += np.repeat(
-            np.arange(n_replicas, dtype=np.int64) * n_bins, m
-        )
-        counts = np.bincount(destinations, minlength=n_replicas * n_bins)
-        return counts.reshape(n_replicas, n_bins).astype(np.int64)
+        row_base = np.arange(n_replicas, dtype=np.int64) * n_bins
+        counts = np.full(n_replicas, m, dtype=np.int64)
+        return one_choice_arrivals(
+            rng, row_base, counts, n_replicas, n_bins
+        ).astype(np.int64)
     makers = {
         "balanced": LoadConfiguration.balanced,
         "all_in_one": LoadConfiguration.all_in_one,
@@ -100,9 +132,32 @@ def make_ensemble_initial(
     return np.tile(row, (n_replicas, 1))
 
 
+def one_choice_arrivals(
+    rng: np.random.Generator,
+    row_base: np.ndarray,
+    counts: np.ndarray,
+    n_replicas: int,
+    n_bins: int,
+) -> np.ndarray:
+    """Scatter ``counts[r]`` uniform throws per replica into an ``(R, n)`` matrix.
+
+    One flat draw covers all replicas: each replica's balls receive uniform
+    destinations in ``[0, n)``, offset by ``r * n`` into the combined index
+    space, and a single ``np.bincount`` counts the arrivals of the whole
+    ensemble.  This is the one-choice update shared by the plain batched
+    process and the ``d = 1`` degenerate case of batched Greedy[d]; with
+    ``R == 1`` it consumes the generator exactly like the sequential
+    simulators.
+    """
+    destinations = rng.integers(0, n_bins, size=int(counts.sum()))
+    destinations += np.repeat(row_base, counts)
+    arrivals = np.bincount(destinations, minlength=n_replicas * n_bins)
+    return arrivals.reshape(n_replicas, n_bins)
+
+
 @dataclass
 class EnsembleResult:
-    """Vector-valued summary of one :meth:`BatchedRepeatedBallsIntoBins.run`.
+    """Vector-valued summary of one :meth:`BatchedLoadProcess.run`.
 
     Every metric is a length-``R`` vector indexed by replica; scalar
     aggregates are exposed as properties so experiment runners and the
@@ -229,8 +284,53 @@ class EnsembleResult:
         }
 
 
-class BatchedRepeatedBallsIntoBins:
-    """Vectorized ensemble of ``R`` independent repeated balls-into-bins runs.
+@runtime_checkable
+class BatchedProcess(Protocol):
+    """Structural protocol of a vectorized ``R``-replica load process.
+
+    Anything exposing this surface — ``(R, n)`` loads, per-replica metric
+    reducers, a ``step``/``run`` pair returning :class:`EnsembleResult` —
+    can be driven by the ensemble engine in :mod:`repro.parallel.ensemble`.
+    The batched fault injector in :mod:`repro.adversary.batched`
+    additionally needs the conservation-checked state-replacement hooks of
+    :class:`BatchedLoadProcess` (``inject_loads``, ``num_empty_bins``), so
+    it requires that base class rather than this bare protocol.
+    """
+
+    @property
+    def n_bins(self) -> int: ...
+
+    @property
+    def n_replicas(self) -> int: ...
+
+    @property
+    def loads(self) -> np.ndarray: ...
+
+    @property
+    def max_load(self) -> np.ndarray: ...
+
+    @property
+    def rounds_completed(self) -> np.ndarray: ...
+
+    def step(self) -> np.ndarray: ...
+
+    def run(
+        self,
+        rounds: int,
+        beta: float = DEFAULT_BETA,
+        stop_when_legitimate: bool = False,
+    ) -> EnsembleResult: ...
+
+
+class BatchedLoadProcess:
+    """Shared machinery for vectorized ensembles of load-level processes.
+
+    Holds the ``(R, n)`` load matrix, per-replica round counters and
+    activity masks, the window-metric ``run`` loop, and the
+    ball-conservation invariant.  Subclasses define one round of dynamics by
+    implementing :meth:`_advance`; :class:`BatchedRepeatedBallsIntoBins`
+    additionally overrides :meth:`_run_window` to dispatch to the compiled
+    kernel.
 
     Parameters
     ----------
@@ -246,12 +346,8 @@ class BatchedRepeatedBallsIntoBins:
         1-D array replicated across replicas, or a 2-D ``(R, n)`` array of
         per-replica starting configurations.
     seed:
-        Seed-like value; with ``R == 1`` and the numpy kernel the trajectory
-        matches :class:`~repro.core.process.RepeatedBallsIntoBins` under the
-        same seed, step for step.
-    kernel:
-        ``"numpy"`` (reference), ``"native"`` (compiled; raises when no C
-        compiler is available), or ``"auto"`` (native when possible).
+        Seed-like value; an existing :class:`numpy.random.Generator` is
+        used as-is, anything else is normalized through ``SeedSequence``.
 
     Notes
     -----
@@ -260,6 +356,9 @@ class BatchedRepeatedBallsIntoBins:
     loads stay fixed, and their round counters stop advancing.
     """
 
+    #: Kernel label reported in :class:`EnsembleResult` by the generic loop.
+    kernel_name = "numpy"
+
     def __init__(
         self,
         n_bins: int,
@@ -267,7 +366,6 @@ class BatchedRepeatedBallsIntoBins:
         n_balls: Optional[int] = None,
         initial: Union[LoadConfiguration, np.ndarray, None] = None,
         seed: SeedLike = None,
-        kernel: str = "auto",
     ) -> None:
         if n_bins < 1:
             raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
@@ -275,17 +373,8 @@ class BatchedRepeatedBallsIntoBins:
             raise ConfigurationError(
                 f"n_replicas must be >= 1, got {n_replicas}"
             )
-        if kernel not in ("auto", "numpy", "native"):
-            raise ConfigurationError(
-                f"kernel must be 'auto', 'numpy' or 'native', got {kernel!r}"
-            )
-        if kernel == "native" and get_kernel() is None:
-            raise ConfigurationError(
-                f"native kernel requested but unavailable ({native_status()})"
-            )
         self._n_bins = n_bins
         self._n_replicas = n_replicas
-        self._kernel = kernel
         self._loads = self._coerce_initial(initial, n_balls)
         self._n_balls = self._loads.sum(axis=1)
         self._rounds_done = np.zeros(n_replicas, dtype=np.int64)
@@ -297,7 +386,6 @@ class BatchedRepeatedBallsIntoBins:
             self._seed_seq = as_seed_sequence(seed)
             self._rng = np.random.default_rng(self._seed_seq)
         self._row_base = np.arange(n_replicas, dtype=np.int64) * n_bins
-        self._native_state: Optional[np.ndarray] = None
 
     def _coerce_initial(self, initial, n_balls: Optional[int]) -> np.ndarray:
         n, R = self._n_bins, self._n_replicas
@@ -394,33 +482,16 @@ class BatchedRepeatedBallsIntoBins:
         return LoadConfiguration(self._loads[replica])
 
     # ------------------------------------------------------------------
-    # Dynamics — numpy reference kernel
+    # Dynamics
     # ------------------------------------------------------------------
-    def step(self) -> np.ndarray:
-        """Advance every *active* replica by one round (numpy kernel).
+    def _advance(self) -> None:
+        """Mutate ``self._loads`` by one round for every *active* replica."""
+        raise NotImplementedError
 
-        One flat draw covers all replicas: each replica's departing balls
-        receive uniform destinations in ``[0, n)``, offset by ``r * n`` into
-        the combined index space, and a single ``np.bincount`` scatters the
-        arrivals of the whole ensemble.  With ``R == 1`` the generator is
-        consumed exactly like :meth:`RepeatedBallsIntoBins.step`.
-        """
-        loads = self._loads
-        active = self._active
-        nonempty = loads > 0
-        if not active.all():
-            nonempty &= active[:, None]
-        counts = np.count_nonzero(nonempty, axis=1)
-        total = int(counts.sum())
-        if total:
-            loads -= nonempty
-            destinations = self._rng.integers(0, self._n_bins, size=total)
-            destinations += np.repeat(self._row_base, counts)
-            arrivals = np.bincount(
-                destinations, minlength=self._n_replicas * self._n_bins
-            )
-            loads += arrivals.reshape(self._n_replicas, self._n_bins)
-        self._rounds_done += active
+    def step(self) -> np.ndarray:
+        """Advance every active replica by one round and return the loads."""
+        self._advance()
+        self._rounds_done += self._active
         return self.loads
 
     def run(
@@ -453,26 +524,10 @@ class BatchedRepeatedBallsIntoBins:
             first_legit[hit] = self._rounds_done[hit]
             self._active[hit] = False
 
-        kernel = get_kernel() if self._kernel in ("auto", "native") else None
-        if kernel is not None and not self._native_supported():
-            if self._kernel == "native":
-                raise ConfigurationError(
-                    "native kernel requested but the state does not fit its "
-                    "int32 load representation (n_bins and per-replica ball "
-                    "counts must stay below 2**31)"
-                )
-            kernel = None
         start_rounds = self._rounds_done.copy()
-        if kernel is not None:
-            max_seen, min_empty = self._run_native(
-                kernel, rounds, threshold, stop_when_legitimate, first_legit
-            )
-            used = "native"
-        else:
-            max_seen, min_empty = self._run_numpy(
-                rounds, threshold, stop_when_legitimate, first_legit
-            )
-            used = "numpy"
+        max_seen, min_empty, used = self._run_window(
+            rounds, threshold, stop_when_legitimate, first_legit
+        )
 
         executed = self._rounds_done - start_rounds
         idle = executed == 0
@@ -491,7 +546,8 @@ class BatchedRepeatedBallsIntoBins:
             kernel=used,
         )
 
-    def _run_numpy(self, rounds, threshold, stop_when_legitimate, first_legit):
+    def _run_window(self, rounds, threshold, stop_when_legitimate, first_legit):
+        """Reference window loop; returns ``(max_seen, min_empty, kernel)``."""
         R, n = self._n_replicas, self._n_bins
         max_seen = np.zeros(R, dtype=np.int64)
         min_empty = np.full(R, n, dtype=np.int64)
@@ -509,7 +565,175 @@ class BatchedRepeatedBallsIntoBins:
                 first_legit[newly] = self._rounds_done[newly]
                 if stop_when_legitimate:
                     self._active[newly] = False
-        return max_seen, min_empty
+        return max_seen, min_empty, self.kernel_name
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def run_until_legitimate(
+        self, max_rounds: int, beta: float = DEFAULT_BETA
+    ) -> np.ndarray:
+        """Run with per-replica early stop; returns the convergence rounds.
+
+        The result is a length-``R`` vector: the global round index of each
+        replica's first legitimate configuration, or ``-1`` where the budget
+        of ``max_rounds`` elapsed first.
+        """
+        return self.run(
+            max_rounds, beta=beta, stop_when_legitimate=True
+        ).first_legitimate_round
+
+    def inject_loads(self, loads: np.ndarray) -> None:
+        """Replace the current ``(R, n)`` loads with a ball-conserving matrix.
+
+        This is the hook the Section 4.1 fault model uses: an adversary may
+        reassign balls arbitrarily *between* rounds, but it may not create
+        or destroy them, so the per-replica totals must match the current
+        ones exactly.  Round counters and activity masks are untouched.
+        """
+        arr = np.asarray(loads)
+        if arr.shape != (self._n_replicas, self._n_bins):
+            raise ConfigurationError(
+                f"injected loads have shape {arr.shape}, expected "
+                f"({self._n_replicas}, {self._n_bins})"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.all(np.equal(np.mod(arr, 1), 0)):
+                raise ConfigurationError("injected loads must be integer-valued")
+            arr = arr.astype(np.int64)
+        if np.any(arr < 0):
+            raise ConfigurationError("injected loads must be non-negative")
+        totals = arr.sum(axis=1)
+        if not np.array_equal(totals, self._n_balls):
+            bad = int(np.flatnonzero(totals != self._n_balls)[0])
+            raise ConfigurationError(
+                f"injected loads do not conserve balls in replica {bad}: "
+                f"expected {int(self._n_balls[bad])}, got {int(totals[bad])}"
+            )
+        self._loads[...] = np.asarray(arr, dtype=np.int64)
+
+    def reset(
+        self, initial: Union[LoadConfiguration, np.ndarray, None] = None
+    ) -> None:
+        """Reset loads (balanced by default), round counters, and activity.
+
+        Random state is *not* reset: the generator (and any native
+        per-replica streams) continue where they left off, mirroring
+        :meth:`RepeatedBallsIntoBins.reset`.
+        """
+        if initial is None:
+            m = int(self._n_balls[0])
+            if not (self._n_balls == m).all():
+                raise ConfigurationError(
+                    "reset() without an explicit initial requires equal "
+                    "per-replica ball counts"
+                )
+            self._loads = make_ensemble_initial(
+                "balanced", self._n_bins, self._n_replicas, n_balls=m
+            )
+        else:
+            self._loads = self._coerce_initial(initial, None)
+        self._n_balls = self._loads.sum(axis=1)
+        self._rounds_done[:] = 0
+        self._active[:] = True
+
+    def _check_conservation(self) -> None:
+        totals = self._loads.sum(axis=1)
+        if not np.array_equal(totals, self._n_balls):
+            bad = int(np.flatnonzero(totals != self._n_balls)[0])
+            raise SimulationError(
+                f"ball count not conserved in replica {bad}: expected "
+                f"{int(self._n_balls[bad])}, found {int(totals[bad])}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n_bins={self._n_bins}, "
+            f"n_replicas={self._n_replicas}, rounds<= {self.round_index})"
+        )
+
+
+class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
+    """Vectorized ensemble of ``R`` independent repeated balls-into-bins runs.
+
+    Parameters
+    ----------
+    n_bins, n_replicas, n_balls, initial:
+        As for :class:`BatchedLoadProcess`.
+    seed:
+        Seed-like value; with ``R == 1`` and the numpy kernel the trajectory
+        matches :class:`~repro.core.process.RepeatedBallsIntoBins` under the
+        same seed, step for step.
+    kernel:
+        ``"numpy"`` (reference), ``"native"`` (compiled; raises when no C
+        compiler is available), or ``"auto"`` (native when possible).
+    """
+
+    def __init__(
+        self,
+        n_bins: int,
+        n_replicas: int,
+        n_balls: Optional[int] = None,
+        initial: Union[LoadConfiguration, np.ndarray, None] = None,
+        seed: SeedLike = None,
+        kernel: str = "auto",
+    ) -> None:
+        if kernel not in ("auto", "numpy", "native"):
+            raise ConfigurationError(
+                f"kernel must be 'auto', 'numpy' or 'native', got {kernel!r}"
+            )
+        if kernel == "native" and get_kernel() is None:
+            raise ConfigurationError(
+                f"native kernel requested but unavailable ({native_status()})"
+            )
+        super().__init__(
+            n_bins, n_replicas, n_balls=n_balls, initial=initial, seed=seed
+        )
+        self._kernel = kernel
+        self._native_state: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Dynamics — numpy reference kernel
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """One round for all active replicas (numpy kernel).
+
+        One flat draw covers all replicas: each replica's departing balls
+        receive uniform destinations in ``[0, n)``, offset by ``r * n`` into
+        the combined index space, and a single ``np.bincount`` scatters the
+        arrivals of the whole ensemble.  With ``R == 1`` the generator is
+        consumed exactly like :meth:`RepeatedBallsIntoBins.step`.
+        """
+        loads = self._loads
+        active = self._active
+        nonempty = loads > 0
+        if not active.all():
+            nonempty &= active[:, None]
+        counts = np.count_nonzero(nonempty, axis=1)
+        if counts.any():
+            loads -= nonempty
+            loads += one_choice_arrivals(
+                self._rng, self._row_base, counts, self._n_replicas, self._n_bins
+            )
+
+    def _run_window(self, rounds, threshold, stop_when_legitimate, first_legit):
+        kernel = get_kernel() if self._kernel in ("auto", "native") else None
+        if kernel is not None and not self._native_supported():
+            if self._kernel == "native":
+                raise ConfigurationError(
+                    "native kernel requested but the state does not fit its "
+                    "int32 load representation (n_bins and per-replica ball "
+                    "counts must stay below 2**31)"
+                )
+            kernel = None
+        if kernel is None:
+            return super()._run_window(
+                rounds, threshold, stop_when_legitimate, first_legit
+            )
+        max_seen, min_empty = self._run_native(
+            kernel, rounds, threshold, stop_when_legitimate, first_legit
+        )
+        return max_seen, min_empty, "native"
 
     # ------------------------------------------------------------------
     # Dynamics — native kernel
@@ -571,56 +795,6 @@ class BatchedRepeatedBallsIntoBins:
         self._active[...] = active8.astype(bool)
         first_legit[...] = first64
         return max_seen.astype(np.int64), min_empty.astype(np.int64)
-
-    # ------------------------------------------------------------------
-    # Conveniences
-    # ------------------------------------------------------------------
-    def run_until_legitimate(
-        self, max_rounds: int, beta: float = DEFAULT_BETA
-    ) -> np.ndarray:
-        """Run with per-replica early stop; returns the convergence rounds.
-
-        The result is a length-``R`` vector: the global round index of each
-        replica's first legitimate configuration, or ``-1`` where the budget
-        of ``max_rounds`` elapsed first.
-        """
-        return self.run(
-            max_rounds, beta=beta, stop_when_legitimate=True
-        ).first_legitimate_round
-
-    def reset(
-        self, initial: Union[LoadConfiguration, np.ndarray, None] = None
-    ) -> None:
-        """Reset loads (balanced by default), round counters, and activity.
-
-        Random state is *not* reset: the numpy generator and the native
-        per-replica streams continue where they left off, mirroring
-        :meth:`RepeatedBallsIntoBins.reset`.
-        """
-        if initial is None:
-            m = int(self._n_balls[0])
-            if not (self._n_balls == m).all():
-                raise ConfigurationError(
-                    "reset() without an explicit initial requires equal "
-                    "per-replica ball counts"
-                )
-            self._loads = make_ensemble_initial(
-                "balanced", self._n_bins, self._n_replicas, n_balls=m
-            )
-        else:
-            self._loads = self._coerce_initial(initial, None)
-        self._n_balls = self._loads.sum(axis=1)
-        self._rounds_done[:] = 0
-        self._active[:] = True
-
-    def _check_conservation(self) -> None:
-        totals = self._loads.sum(axis=1)
-        if not np.array_equal(totals, self._n_balls):
-            bad = int(np.flatnonzero(totals != self._n_balls)[0])
-            raise SimulationError(
-                f"ball count not conserved in replica {bad}: expected "
-                f"{int(self._n_balls[bad])}, found {int(totals[bad])}"
-            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -11,6 +11,15 @@ over bins.
 The class also supports the generalization with ``m != n`` balls
 (Section 5's open question) and arbitrary initial configurations
 (self-stabilization experiments).
+
+Example
+-------
+>>> process = RepeatedBallsIntoBins(8, seed=0)
+>>> result = process.run(16)
+>>> result.rounds
+16
+>>> int(result.final_configuration.n_balls)  # balls are conserved
+8
 """
 
 from __future__ import annotations

@@ -36,7 +36,7 @@ def run_experiment(
     Parameters
     ----------
     experiment_id:
-        Registered id (``"E1"`` ... ``"E15"``, ``"A1"``, ``"A3"``).
+        Registered id (``"E1"`` ... ``"E15"``, ``"A1"`` ... ``"A3"``).
     params:
         Overrides for the experiment's default parameters (unknown keys are
         rejected so that typos do not silently fall back to defaults).

@@ -1,4 +1,4 @@
-"""Registry of every experiment (E1–E15) and ablation (A1, A3).
+"""Registry of every experiment (E1–E15) and ablation (A1–A3).
 
 Each entry pairs an :class:`~repro.experiments.spec.ExperimentSpec` (claim,
 default parameters, expected shape) with a runner function.  Default
@@ -196,6 +196,7 @@ register(
             "trials": 5,
             "rounds_factor": 30.0,
             "adversary": "concentrate",
+            "engine": "batched",
         },
         expected_shape="recovery takes O(n) rounds, a small fraction of the fault period for gamma >= 6",
     ),
@@ -311,6 +312,23 @@ register(
         expected_shape="load statistics coincide across disciplines; per-ball progress differs",
     ),
     ext_defs.run_a1_queueing,
+)
+
+register(
+    ExperimentSpec(
+        experiment_id="A2",
+        title="Ablation: power of d choices — Greedy[d] vs the plain repeated process",
+        claim="Related work [36] / Azar et al.; even d = 1 achieves O(log n)",
+        default_params={
+            "sizes": [64, 128, 256],
+            "d_values": [1, 2, 4],
+            "trials": 8,
+            "rounds_factor": 1.0,
+            "engine": "batched",
+        },
+        expected_shape="window max decreases only additively with d; every d stays ~log n",
+    ),
+    ext_defs.run_a2_d_choices,
 )
 
 register(

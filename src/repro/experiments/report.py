@@ -52,6 +52,7 @@ _REPORT_PARAMS: Dict[str, dict] = {
         "trials": 5,
         "rounds_factor": 4.0,
     },
+    "A2": {"sizes": [64, 128, 256, 512], "d_values": [1, 2, 4], "trials": 8, "rounds_factor": 1.0},
     "A3": {"n": 256, "rhos": [0.5, 0.75, 0.9, 1.0], "trials": 5, "rounds_factor": 8.0},
 }
 

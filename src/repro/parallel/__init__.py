@@ -21,7 +21,7 @@ worker count.
 """
 
 from .aggregate import TrialAggregate, aggregate_ensemble, aggregate_records
-from .ensemble import ENGINES, EnsembleSpec, run_ensemble
+from .ensemble import ENGINES, PROCESSES, EnsembleSpec, run_ensemble
 from .runner import TrialRunner, run_trials
 from .seeding import trial_seeds
 
@@ -35,4 +35,5 @@ __all__ = [
     "EnsembleSpec",
     "run_ensemble",
     "ENGINES",
+    "PROCESSES",
 ]

@@ -1,29 +1,56 @@
-"""Engine selection for Monte-Carlo ensembles of the core process.
+"""Engine selection for Monte-Carlo ensembles of the paper's processes.
 
 This module is the single entry point experiments use to run "R independent
-replicas of repeated balls-into-bins" workloads.  An :class:`EnsembleSpec`
-describes the ensemble declaratively (size, start family, budget, early
-stop); :func:`run_ensemble` executes it through one of two engines:
+replicas" workloads.  An :class:`EnsembleSpec` describes the ensemble
+declaratively (process family, size, start family, budget, early stop);
+:func:`run_ensemble` executes it through one of two engines:
 
 ``engine="batched"`` (default)
-    One :class:`~repro.core.batched.BatchedRepeatedBallsIntoBins` advances
-    every replica per round with flat numpy kernels (or the compiled native
-    kernel).  With ``n_workers > 1`` very large ensembles are *sharded*:
-    each worker process simulates a contiguous slice of replicas with its
-    own spawned seed and the shard results are concatenated.
+    One batched process (see :mod:`repro.core.batched`) advances every
+    replica per round with flat numpy kernels — or, for the plain repeated
+    balls-into-bins process, the compiled native kernel.  With
+    ``n_workers > 1`` very large ensembles are *sharded*: each worker
+    process simulates a contiguous slice of replicas with its own spawned
+    seed and the shard results are concatenated.
 ``engine="sequential"``
     The legacy per-trial path: each replica is an independent
-    :class:`~repro.core.process.RepeatedBallsIntoBins` run dispatched
-    through :class:`~repro.parallel.runner.TrialRunner` (and therefore
-    through the process pool when ``n_workers > 1``).  Kept for
-    cross-checking the batched engine and for workloads that are not pure
-    load-vector ensembles.
+    single-replica process dispatched through
+    :class:`~repro.parallel.runner.TrialRunner` (and therefore through the
+    process pool when ``n_workers > 1``).  Kept for cross-checking the
+    batched engine and for workloads that are not pure load-vector
+    ensembles.
+
+Three process families are supported through the ``process`` selector:
+
+``"rbb"`` (default)
+    The plain 1-choice repeated balls-into-bins process.
+``"d_choices"``
+    The repeated Greedy[d] allocator of
+    :mod:`repro.baselines.d_choices` (``spec.d`` candidate bins per
+    re-thrown ball).
+``"faulty"``
+    The Section 4.1 fault model: the plain process with a per-replica
+    adversarial reassignment (``spec.adversary``) every
+    ``spec.fault_period`` rounds.  Following the
+    :class:`~repro.adversary.faulty_process.FaultyProcess` convention, its
+    ``max_load_seen`` window includes the initial and post-fault
+    configurations (the adversarial spikes are the quantity of interest),
+    whereas the other families track post-step configurations only.
 
 Both engines return the same :class:`~repro.core.batched.EnsembleResult`
 schema, so callers are engine-agnostic.  Results are deterministic for a
 fixed ``(seed, engine, n_workers, kernel)`` tuple; the two engines draw
 their randomness differently, so they agree in distribution rather than
 trajectory-for-trajectory.
+
+Example
+-------
+>>> spec = EnsembleSpec(n_bins=8, n_replicas=3, rounds=5)
+>>> result = run_ensemble(spec, seed=0, engine="batched", kernel="numpy")
+>>> result.n_replicas
+3
+>>> result.final_loads.sum(axis=1).tolist()
+[8, 8, 8]
 """
 
 from __future__ import annotations
@@ -34,22 +61,30 @@ from typing import Optional, Union
 import numpy as np
 
 from .runner import TrialRunner
+from ..adversary.adversaries import get_adversary
+from ..adversary.batched import BatchedFaultyProcess
+from ..adversary.faulty_process import FaultSchedule
+from ..baselines.d_choices import BatchedDChoices, DChoicesProcess
 from ..core.batched import (
+    BatchedLoadProcess,
     BatchedRepeatedBallsIntoBins,
     EnsembleResult,
     INITIAL_KINDS,
     make_ensemble_initial,
 )
-from ..core.config import DEFAULT_BETA, LoadConfiguration
+from ..core.config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
 from ..core.process import RepeatedBallsIntoBins
 from ..errors import ConfigurationError
 from ..rng import as_seed_sequence
 from ..types import SeedLike
 
-__all__ = ["EnsembleSpec", "run_ensemble", "ENGINES"]
+__all__ = ["EnsembleSpec", "run_ensemble", "ENGINES", "PROCESSES"]
 
 #: Engine names accepted by :func:`run_ensemble` (``"auto"`` = batched).
 ENGINES = ("auto", "batched", "sequential")
+
+#: Process families accepted by :class:`EnsembleSpec`.
+PROCESSES = ("rbb", "d_choices", "faulty")
 
 StartLike = Union[str, LoadConfiguration, np.ndarray]
 
@@ -72,10 +107,26 @@ class EnsembleSpec:
         Legitimacy constant for metrics and early stopping.
     stop_when_legitimate:
         Freeze each replica once it reaches a legitimate configuration
-        (convergence-time experiments).
+        (convergence-time experiments).  Not supported for the ``faulty``
+        process (faults would unfreeze replicas).
     warmup_rounds:
         Rounds simulated *before* metric tracking starts (e.g. Lemma 2 only
-        claims the empty-bins bound after the first round).
+        claims the empty-bins bound after the first round).  Not supported
+        for the ``faulty`` process, whose fault schedule counts from the
+        first simulated round.
+    process:
+        Process family: ``"rbb"`` (plain repeated balls-into-bins),
+        ``"d_choices"`` (repeated Greedy[d]), or ``"faulty"`` (plain
+        process under the Section 4.1 adversary).
+    d:
+        Candidate bins per placement for ``process="d_choices"`` (ignored
+        otherwise).
+    adversary:
+        Adversary name for ``process="faulty"`` (ignored otherwise).
+    fault_period, fault_offset:
+        Periodic fault schedule for ``process="faulty"``: one fault every
+        ``fault_period`` rounds starting at ``fault_offset`` (defaults to
+        the period).  ``fault_period=None`` means no faults.
     """
 
     n_bins: int
@@ -86,6 +137,11 @@ class EnsembleSpec:
     beta: float = DEFAULT_BETA
     stop_when_legitimate: bool = False
     warmup_rounds: int = 0
+    process: str = "rbb"
+    d: int = 2
+    adversary: str = "concentrate"
+    fault_period: Optional[int] = None
+    fault_offset: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_bins < 1:
@@ -105,6 +161,30 @@ class EnsembleSpec:
                 f"unknown start {self.start!r}; expected one of {INITIAL_KINDS} "
                 "or an explicit configuration"
             )
+        if self.process not in PROCESSES:
+            raise ConfigurationError(
+                f"unknown process {self.process!r}; expected one of {PROCESSES}"
+            )
+        if self.d < 1:
+            raise ConfigurationError(f"d must be >= 1, got {self.d}")
+        if self.process == "faulty":
+            get_adversary(self.adversary)  # validate the name early
+            if self.stop_when_legitimate:
+                raise ConfigurationError(
+                    "stop_when_legitimate is not supported for the faulty "
+                    "process (faults would unfreeze replicas)"
+                )
+            if self.warmup_rounds:
+                raise ConfigurationError(
+                    "warmup_rounds is not supported for the faulty process "
+                    "(the fault schedule counts from the first round)"
+                )
+
+    def fault_schedule(self) -> FaultSchedule:
+        """The :class:`FaultSchedule` described by the fault fields."""
+        if self.fault_period is None:
+            return FaultSchedule.never()
+        return FaultSchedule(period=self.fault_period, offset=self.fault_offset)
 
 
 def _replica_initial(
@@ -143,15 +223,69 @@ def _shard_initial(
 
 
 # ----------------------------------------------------------------------
-# Sequential engine (module-level trial function: picklable for the pool)
+# Sequential engine (module-level trial functions: picklable for the pool)
 # ----------------------------------------------------------------------
+def _window_record(process, spec: EnsembleSpec, num_empty) -> dict:
+    """Run the generic step-loop window metrics for one replica.
+
+    ``process`` only needs ``step()``, ``loads``, ``max_load`` and
+    ``round_index``; ``num_empty`` is a callable returning the current
+    empty-bin count (the per-process classes expose it differently).
+    """
+    threshold = legitimacy_threshold(spec.n_bins, spec.beta)
+    for _ in range(spec.warmup_rounds):
+        process.step()
+    if spec.stop_when_legitimate and process.max_load <= threshold:
+        # mirror RepeatedBallsIntoBins.run_until_legitimate's pre-check
+        return {
+            "rounds": 0,
+            "window_max_load": 0,
+            "min_empty_bins": num_empty(),
+            "first_legitimate_round": process.round_index,
+            "final_loads": np.array(process.loads, copy=True),
+        }
+    max_seen = 0
+    min_empty = spec.n_bins
+    first = -1
+    executed = 0
+    for _ in range(spec.rounds):
+        loads = process.step()
+        executed += 1
+        current_max = int(loads.max())
+        max_seen = max(max_seen, current_max)
+        min_empty = min(min_empty, num_empty())
+        if first < 0 and current_max <= threshold:
+            first = process.round_index
+            if spec.stop_when_legitimate:
+                break
+    return {
+        "rounds": executed,
+        "window_max_load": max_seen,
+        "min_empty_bins": min_empty if executed else num_empty(),
+        "first_legitimate_round": first,
+        "final_loads": np.array(process.loads, copy=True),
+    }
+
+
 def _sequential_ensemble_trial(trial_index, seed, spec: EnsembleSpec) -> dict:
     init_seq, sim_seq = seed.spawn(2)
-    process = RepeatedBallsIntoBins(
-        spec.n_bins,
-        initial=_replica_initial(spec, trial_index, init_seq),
-        seed=np.random.default_rng(sim_seq),
-    )
+    initial = _replica_initial(spec, trial_index, init_seq)
+    rng = np.random.default_rng(sim_seq)
+
+    if spec.process == "d_choices":
+        process = DChoicesProcess(
+            spec.n_bins, d=spec.d, initial=initial, seed=rng
+        )
+        return _window_record(
+            process,
+            spec,
+            lambda: int(np.count_nonzero(process.loads == 0)),
+        )
+
+    if spec.process == "faulty":
+        return _sequential_faulty_trial(spec, initial, rng)
+
+    process = RepeatedBallsIntoBins(spec.n_bins, initial=initial, seed=rng)
     if spec.warmup_rounds:
         process.run(spec.warmup_rounds, beta=spec.beta)
     if spec.stop_when_legitimate and process.is_legitimate(spec.beta):
@@ -172,6 +306,40 @@ def _sequential_ensemble_trial(trial_index, seed, spec: EnsembleSpec) -> dict:
         "window_max_load": outcome.max_load_seen,
         "min_empty_bins": outcome.min_empty_bins_seen,
         "first_legitimate_round": -1 if first is None else first,
+        "final_loads": np.array(process.loads, copy=True),
+    }
+
+
+def _sequential_faulty_trial(spec: EnsembleSpec, initial, rng) -> dict:
+    """One replica of the faulty process, mirroring :class:`FaultyProcess`.
+
+    The adversary reassigns the configuration *before* the normal round
+    executes; the window maximum includes post-fault configurations (as in
+    :meth:`FaultyProcess.run` and the batched fault injector).
+    """
+    process = RepeatedBallsIntoBins(spec.n_bins, initial=initial, seed=rng)
+    adversary = get_adversary(spec.adversary)
+    schedule = spec.fault_schedule()
+    threshold = legitimacy_threshold(spec.n_bins, spec.beta)
+    max_seen = process.max_load
+    min_empty = spec.n_bins
+    first = -1
+    for step in range(1, spec.rounds + 1):
+        if schedule.is_faulty(step):
+            reassigned = adversary(process.loads, rng)
+            process.reset(initial=LoadConfiguration(reassigned))
+            max_seen = max(max_seen, int(reassigned.max()))
+        loads = process.step()
+        current_max = int(loads.max())
+        max_seen = max(max_seen, current_max)
+        min_empty = min(min_empty, int(np.count_nonzero(loads == 0)))
+        if first < 0 and current_max <= threshold:
+            first = step
+    return {
+        "rounds": spec.rounds,
+        "window_max_load": max_seen,
+        "min_empty_bins": min_empty if spec.rounds else process.num_empty_bins,
+        "first_legitimate_round": first,
         "final_loads": np.array(process.loads, copy=True),
     }
 
@@ -207,20 +375,49 @@ def _run_sequential(
 # ----------------------------------------------------------------------
 # Batched engine (module-level shard function: picklable for the pool)
 # ----------------------------------------------------------------------
+def _make_batched_process(
+    spec: EnsembleSpec, n_replicas: int, initial, seed, kernel: str
+) -> BatchedLoadProcess:
+    """Build the batched process a shard simulates."""
+    n_balls = spec.n_balls if initial is None else None
+    if spec.process == "d_choices":
+        return BatchedDChoices(
+            spec.n_bins,
+            n_replicas,
+            d=spec.d,
+            n_balls=n_balls,
+            initial=initial,
+            seed=seed,
+        )
+    return BatchedRepeatedBallsIntoBins(
+        spec.n_bins,
+        n_replicas,
+        n_balls=n_balls,
+        initial=initial,
+        seed=seed,
+        kernel=kernel,
+    )
+
+
 def _batched_ensemble_shard(
     shard_index, seed, spec: EnsembleSpec, bounds, kernel: str
 ) -> EnsembleResult:
     lo, hi = bounds[shard_index]
     init_seq, sim_seq = seed.spawn(2)
     initial = _shard_initial(spec, lo, hi, init_seq)
-    batch = BatchedRepeatedBallsIntoBins(
-        spec.n_bins,
-        hi - lo,
-        n_balls=spec.n_balls if initial is None else None,
-        initial=initial,
-        seed=sim_seq,
-        kernel=kernel,
-    )
+    if spec.process == "faulty":
+        faulty = BatchedFaultyProcess(
+            spec.n_bins,
+            hi - lo,
+            adversary=spec.adversary,
+            schedule=spec.fault_schedule(),
+            n_balls=spec.n_balls if initial is None else None,
+            initial=initial,
+            seed=sim_seq,
+            kernel=kernel,
+        )
+        return faulty.run(spec.rounds, beta=spec.beta).to_ensemble_result()
+    batch = _make_batched_process(spec, hi - lo, initial, sim_seq, kernel)
     if spec.warmup_rounds:
         batch.run(spec.warmup_rounds, beta=spec.beta)
     return batch.run(
@@ -256,7 +453,7 @@ def run_ensemble(
     Parameters
     ----------
     spec:
-        The declarative ensemble description.
+        The declarative ensemble description (including the process family).
     seed:
         Root seed; per-replica (sequential) or per-shard (batched) streams
         are spawned from it, so results are reproducible for a fixed
@@ -268,8 +465,9 @@ def run_ensemble(
         pool — per-trial for the sequential engine, per-shard for the
         batched engine.
     kernel:
-        Kernel selection forwarded to the batched engine
-        (``"auto"``/``"numpy"``/``"native"``).
+        Kernel selection forwarded to the batched repeated balls-into-bins
+        engine (``"auto"``/``"numpy"``/``"native"``); the batched Greedy[d]
+        process is numpy-only.
     """
     if engine not in ENGINES:
         raise ConfigurationError(

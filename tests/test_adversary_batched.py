@@ -1,0 +1,266 @@
+"""Tests for batched adversarial fault injection.
+
+The load-bearing invariant is the Section 4.1 constraint applied per
+replica: however an adversary rewrites the ``(R, n)`` ensemble state, the
+total number of balls of **every replica** must be conserved — by the
+vectorized ``apply_batch`` reassignments themselves, and across whole
+:class:`BatchedFaultyProcess` runs with repeated fault injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    Adversary,
+    BatchedFaultyProcess,
+    FaultSchedule,
+    FaultyProcess,
+    available_adversaries,
+    get_adversary,
+)
+from repro.baselines.d_choices import BatchedDChoices
+from repro.core.batched import BatchedRepeatedBallsIntoBins, make_ensemble_initial
+from repro.core.config import LoadConfiguration
+from repro.errors import ConfigurationError
+
+ALL_ADVERSARIES = available_adversaries()
+
+
+@pytest.fixture
+def load_matrix() -> np.ndarray:
+    rng = np.random.default_rng(123)
+    # heterogeneous per-replica totals, including an all-empty replica
+    matrix = rng.integers(0, 9, size=(8, 24)).astype(np.int64)
+    matrix[3] = 0
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# apply_batch: per-replica ball conservation for every adversary
+# ----------------------------------------------------------------------
+class TestApplyBatch:
+    @pytest.mark.parametrize("name", ALL_ADVERSARIES)
+    def test_conserves_balls_per_replica(self, name, load_matrix):
+        adversary = get_adversary(name)
+        out = adversary.apply_batch(load_matrix, np.random.default_rng(0))
+        assert out.shape == load_matrix.shape
+        assert np.array_equal(out.sum(axis=1), load_matrix.sum(axis=1))
+        assert (out >= 0).all()
+
+    @pytest.mark.parametrize("name", ALL_ADVERSARIES)
+    def test_rejects_non_matrix_input(self, name):
+        adversary = get_adversary(name)
+        with pytest.raises(ConfigurationError):
+            adversary.apply_batch(np.ones(8, dtype=np.int64), np.random.default_rng(0))
+
+    def test_concentrate_piles_everything_in_one_bin(self, load_matrix):
+        out = get_adversary("concentrate").apply_batch(
+            load_matrix, np.random.default_rng(1)
+        )
+        assert np.array_equal(out.max(axis=1), load_matrix.sum(axis=1))
+        assert ((out > 0).sum(axis=1) <= 1).all()
+
+    def test_shuffle_preserves_load_multiset_per_replica(self, load_matrix):
+        out = get_adversary("shuffle").apply_batch(
+            load_matrix, np.random.default_rng(2)
+        )
+        assert np.array_equal(np.sort(out, axis=1), np.sort(load_matrix, axis=1))
+
+    def test_pyramid_rows_match_single_vector_form(self, load_matrix):
+        out = get_adversary("pyramid").apply_batch(
+            load_matrix, np.random.default_rng(3)
+        )
+        for replica in range(load_matrix.shape[0]):
+            expected = LoadConfiguration.pyramid(
+                load_matrix.shape[1], int(load_matrix[replica].sum())
+            ).as_array()
+            assert np.array_equal(out[replica], expected)
+
+    def test_target_heaviest_moves_the_clipped_quota(self, load_matrix):
+        adversary = get_adversary("target_heaviest")
+        out = adversary.apply_batch(load_matrix, np.random.default_rng(4))
+        for replica in range(load_matrix.shape[0]):
+            row = load_matrix[replica]
+            total = int(row.sum())
+            target = int(row.argmax())
+            quota = int(adversary.fraction * total)
+            gain = min(quota, total - int(row[target]))
+            assert int(out[replica, target]) == int(row[target]) + gain
+
+    def test_default_batch_falls_back_to_rowwise_reassign(self, load_matrix):
+        class ReverseAdversary(Adversary):
+            name = "reverse"
+
+            def reassign(self, loads, rng):
+                return np.asarray(loads)[::-1]
+
+        out = ReverseAdversary().apply_batch(load_matrix, np.random.default_rng(5))
+        assert np.array_equal(out, load_matrix[:, ::-1])
+
+    def test_batch_validation_catches_nonconserving_adversary(self, load_matrix):
+        class BallEater(Adversary):
+            name = "eater"
+
+            def reassign(self, loads, rng):
+                return np.zeros_like(np.asarray(loads))
+
+        with pytest.raises(ConfigurationError, match="replica"):
+            BallEater().apply_batch(load_matrix, np.random.default_rng(6))
+
+
+# ----------------------------------------------------------------------
+# BatchedFaultyProcess: conservation across faults, recovery bookkeeping
+# ----------------------------------------------------------------------
+class TestBatchedFaultyProcess:
+    @pytest.mark.parametrize("name", ALL_ADVERSARIES)
+    def test_ball_conservation_across_faults(self, name):
+        initial = make_ensemble_initial("random_uniform", 32, 12, n_balls=48, seed=0)
+        process = BatchedFaultyProcess(
+            32,
+            12,
+            adversary=name,
+            schedule=FaultSchedule(period=10),
+            initial=initial,
+            seed=1,
+            kernel="numpy",
+        )
+        result = process.run(95)
+        assert result.fault_rounds == [10, 20, 30, 40, 50, 60, 70, 80, 90]
+        assert np.array_equal(result.final_loads.sum(axis=1), initial.sum(axis=1))
+        # the invariant holds mid-run too (process state, not just the result)
+        assert np.array_equal(process.process.loads.sum(axis=1), initial.sum(axis=1))
+
+    @pytest.mark.parametrize("kernel", ["numpy", "auto"])
+    def test_recovery_times_shape_and_range(self, kernel):
+        process = BatchedFaultyProcess(
+            64,
+            10,
+            adversary="concentrate",
+            schedule=FaultSchedule(period=384),
+            seed=2,
+            kernel=kernel,
+        )
+        result = process.run(1152)
+        assert result.fault_rounds == [384, 768, 1152]
+        assert result.recovery_times.shape == (3, 10)
+        assert result.n_faults == 3
+        assert result.fault_count == 30
+        recovered = result.flat_recoveries()
+        assert (recovered >= 0).all()
+        # a recovery is bounded by the gap to the next fault / end of run
+        assert (recovered < 384).all()
+        # concentrate spikes the full ball count, so the window max sees it
+        assert (result.max_load_seen >= 64).all()
+
+    def test_matches_sequential_faulty_process_distributionally(self):
+        n, trials, rounds = 64, 40, 1536
+        schedule = FaultSchedule(period=384)
+        batched = BatchedFaultyProcess(
+            n, trials, adversary="concentrate", schedule=schedule, seed=3,
+            kernel="numpy",
+        ).run(rounds)
+        rng = np.random.default_rng(3)
+        sequential = []
+        for _ in range(trials):
+            process = FaultyProcess(
+                n, adversary="concentrate", schedule=schedule, seed=rng
+            )
+            sequential.extend(
+                r for r in process.run(rounds).recovery_times if r >= 0
+            )
+        batched_mean = batched.flat_recoveries().mean()
+        sequential_mean = float(np.mean(sequential))
+        assert abs(batched_mean - sequential_mean) < 0.3 * sequential_mean + 2.0
+
+    def test_no_faults_matches_plain_window_metrics(self):
+        process = BatchedFaultyProcess(
+            32, 6, schedule=FaultSchedule.never(), seed=4, kernel="numpy"
+        )
+        result = process.run(50)
+        assert result.fault_rounds == []
+        assert result.recovery_times.shape == (0, 6)
+        assert result.n_faults == 0
+        assert not result.all_recovered  # vacuously false with zero faults
+        ensemble = result.to_ensemble_result()
+        assert ensemble.max_load_seen.shape == (6,)
+        assert (ensemble.rounds == 50).all()
+
+    def test_explicit_fault_rounds(self):
+        schedule = FaultSchedule(explicit_rounds=frozenset({5, 17}))
+        process = BatchedFaultyProcess(
+            16, 4, adversary="shuffle", schedule=schedule, seed=5, kernel="numpy"
+        )
+        result = process.run(30)
+        assert result.fault_rounds == [5, 17]
+
+    def test_wraps_custom_batched_process(self):
+        inner = BatchedDChoices(16, 5, d=2, seed=6)
+        process = BatchedFaultyProcess(
+            16,
+            5,
+            adversary="concentrate",
+            schedule=FaultSchedule(period=8),
+            process=inner,
+            seed=7,
+        )
+        result = process.run(40)
+        assert result.fault_rounds == [8, 16, 24, 32, 40]
+        assert np.array_equal(result.final_loads.sum(axis=1), np.full(5, 16))
+
+    def test_process_shape_mismatch_rejected(self):
+        inner = BatchedRepeatedBallsIntoBins(16, 5, seed=8, kernel="numpy")
+        with pytest.raises(ConfigurationError):
+            BatchedFaultyProcess(16, 6, process=inner)
+        with pytest.raises(ConfigurationError):
+            BatchedFaultyProcess(32, 5, process=inner)
+
+    def test_with_gamma_period(self):
+        process = BatchedFaultyProcess.with_gamma(32, 4, gamma=2.0, seed=9)
+        assert process.schedule.period == 64
+        with pytest.raises(ConfigurationError):
+            BatchedFaultyProcess.with_gamma(32, 4, gamma=0.0)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchedFaultyProcess(8, 2, seed=10).run(-1)
+
+
+# ----------------------------------------------------------------------
+# inject_loads: the conservation gate faults pass through
+# ----------------------------------------------------------------------
+class TestInjectLoads:
+    def test_accepts_conserving_matrix(self):
+        batched = BatchedRepeatedBallsIntoBins(8, 3, seed=0, kernel="numpy")
+        replacement = make_ensemble_initial("all_in_one", 8, 3)
+        batched.inject_loads(replacement)
+        assert np.array_equal(batched.loads, replacement)
+
+    def test_rejects_nonconserving_matrix(self):
+        batched = BatchedRepeatedBallsIntoBins(8, 3, seed=0, kernel="numpy")
+        bad = make_ensemble_initial("all_in_one", 8, 3)
+        bad[1, 0] += 1
+        with pytest.raises(ConfigurationError, match="conserve"):
+            batched.inject_loads(bad)
+
+    def test_rejects_wrong_shape_and_negative(self):
+        batched = BatchedRepeatedBallsIntoBins(8, 3, seed=0, kernel="numpy")
+        with pytest.raises(ConfigurationError):
+            batched.inject_loads(np.ones((2, 8), dtype=np.int64))
+        bad = np.ones((3, 8), dtype=np.int64)
+        bad[0, 0] = -1
+        bad[0, 1] = 3
+        with pytest.raises(ConfigurationError):
+            batched.inject_loads(bad)
+
+    def test_rejects_fractional_loads_even_when_sums_match(self):
+        batched = BatchedRepeatedBallsIntoBins(8, 3, seed=0, kernel="numpy")
+        fractional = np.ones((3, 8), dtype=float)
+        fractional[0, 0] = 0.5
+        fractional[0, 1] = 1.5  # row still sums to 8
+        with pytest.raises(ConfigurationError, match="integer"):
+            batched.inject_loads(fractional)
+        # integral floats are fine
+        batched.inject_loads(np.ones((3, 8), dtype=float))
+        assert (batched.loads == 1).all()

@@ -1,0 +1,43 @@
+"""The generated experiment catalog must stay in sync with the registry.
+
+``docs/EXPERIMENTS.md`` is rendered by
+``scripts/generate_experiment_catalog.py``; CI runs the same ``--check``
+invocation, but keeping it in the tier-1 suite means a stale catalog fails
+fast locally too.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = ROOT / "scripts" / "generate_experiment_catalog.py"
+
+
+def test_catalog_is_up_to_date():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert proc.returncode == 0, (
+        "docs/EXPERIMENTS.md is stale — regenerate with "
+        "`python scripts/generate_experiment_catalog.py`\n"
+        f"{proc.stdout}{proc.stderr}"
+    )
+
+
+def test_check_flags_a_stale_catalog(tmp_path):
+    stale = tmp_path / "EXPERIMENTS.md"
+    stale.write_text("# outdated\n")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--check", "--out", str(stale)],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert proc.returncode == 1
+    assert "STALE" in proc.stdout
