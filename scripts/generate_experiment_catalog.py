@@ -25,6 +25,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.experiments import registry  # noqa: E402
 from repro.experiments.report import report_scale_params  # noqa: E402
 from repro.parallel.ensemble import PROCESSES  # noqa: E402
+from repro.sweeps import available_sweeps, expand_sweep, get_sweep  # noqa: E402
 
 CATALOG_PATH = ROOT / "docs" / "EXPERIMENTS.md"
 
@@ -110,6 +111,26 @@ def render_catalog() -> str:
         "repeated Greedy[d] allocator, and the plain process under the "
         "Section 4.1 adversarial fault model.\n"
     )
+
+    out.write("\n## Sweep-generated families\n\n")
+    out.write(
+        "The multi-point parameter families below are generated from "
+        "declarative sweep specs (`repro.sweeps.catalog`): the sweep "
+        "planner expands the grid and assigns grid-size-independent "
+        "per-point seeds, and the same specs run standalone — with a "
+        "durable, resumable result store — via "
+        "`repro sweep run <name> --store DIR`.  The E9 and A2 experiment "
+        "tables are built from these specs (A2 executes through the sweep "
+        "scheduler and consumes the store's streaming summaries).\n\n"
+    )
+    out.write("| sweep | points | description |\n")
+    out.write("|---|---|---|\n")
+    for name in available_sweeps():
+        sweep = get_sweep(name)
+        out.write(
+            f"| `{name}` | {expand_sweep(sweep).n_points} | "
+            f"{sweep.description} |\n"
+        )
     return out.getvalue()
 
 

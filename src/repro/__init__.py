@@ -68,6 +68,14 @@ from .graphs import ConstrainedParallelWalks, Topology, complete_graph, cycle_gr
 from .markov import BinLoadChain, FiniteMarkovChain, absorption_tail_bound
 from .parallel import EnsembleSpec, run_ensemble
 from .rng import as_generator, spawn_generators
+from .store import PointTable, ResultStore, StreamingMoments, TailCounter
+from .sweeps import (
+    SweepSpec,
+    expand_sweep,
+    resume_sweep,
+    run_sweep,
+    sweep_status,
+)
 from .traversal import MultiTokenTraversal, SingleTokenWalk, expected_single_cover_time
 
 __version__ = "1.0.0"
@@ -128,6 +136,16 @@ __all__ = [
     # parallel
     "EnsembleSpec",
     "run_ensemble",
+    # sweeps + store
+    "SweepSpec",
+    "expand_sweep",
+    "run_sweep",
+    "resume_sweep",
+    "sweep_status",
+    "ResultStore",
+    "PointTable",
+    "StreamingMoments",
+    "TailCounter",
     # rng
     "as_generator",
     "spawn_generators",

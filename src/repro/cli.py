@@ -8,6 +8,13 @@ Sub-commands
     Run one experiment and print its result table; optionally write JSON/CSV.
 ``describe EXPERIMENT_ID``
     Show the full spec of one experiment.
+``report``
+    Run a set of experiments and write an EXPERIMENTS.md-style report.
+``sweep run|resume|status|query|list``
+    Declarative parameter sweeps with a durable result store: run a
+    catalogued or JSON-file sweep into a store directory, resume a killed
+    sweep without re-running completed points, inspect completion state,
+    and query stored point summaries as tables.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .experiments import (
@@ -92,6 +100,103 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Monte-Carlo engine for the ensemble experiments in the report",
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative parameter sweeps with a durable, resumable result store",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_sub.add_parser("list", help="list catalogued sweeps")
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run a sweep into a fresh store directory"
+    )
+    sweep_run.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="catalogued sweep name (see `repro sweep list`); omit with --spec-file",
+    )
+    sweep_run.add_argument(
+        "--spec-file",
+        default=None,
+        help="JSON file holding a SweepSpec (alternative to a catalogued name)",
+    )
+    sweep_run.add_argument(
+        "--store", required=True, help="store directory (created; must not exist)"
+    )
+    sweep_run.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    sweep_run.add_argument(
+        "--engine",
+        choices=["auto", "batched", "sequential"],
+        default="auto",
+        help="ensemble engine per point (default auto = batched)",
+    )
+    sweep_run.add_argument(
+        "--kernel",
+        choices=["auto", "numpy", "native"],
+        default="auto",
+        help="batched-engine kernel (default auto)",
+    )
+    sweep_run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers sharding each point's replicas (default 0 = in-process)",
+    )
+    sweep_run.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="stop after newly running this many points (resume later)",
+    )
+
+    sweep_resume = sweep_sub.add_parser(
+        "resume",
+        help="continue a stored sweep from its own header; re-runs nothing",
+    )
+    sweep_resume.add_argument("--store", required=True, help="existing store directory")
+    sweep_resume.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="stop after newly running this many points",
+    )
+
+    sweep_status_p = sweep_sub.add_parser(
+        "status", help="show a stored sweep's completion state"
+    )
+    sweep_status_p.add_argument("--store", required=True, help="existing store directory")
+
+    sweep_query = sweep_sub.add_parser(
+        "query", help="query stored point summaries as a table"
+    )
+    sweep_query.add_argument("--store", required=True, help="existing store directory")
+    sweep_query.add_argument(
+        "--where",
+        "-w",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "exact-match filter on a config field (aliases n/m/R accepted; "
+            "VALUE parsed as JSON), e.g. -w process=faulty -w n=1024"
+        ),
+    )
+    sweep_query.add_argument(
+        "--columns",
+        nargs="*",
+        default=None,
+        metavar="COL",
+        help="explicit column list (default: a compact summary set)",
+    )
+    sweep_query.add_argument(
+        "--markdown", action="store_true", help="print a markdown table"
+    )
+    sweep_query.add_argument(
+        "--csv", dest="csv_path", default=None, help="also write the rows as CSV"
+    )
     return parser
 
 
@@ -162,9 +267,157 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from pathlib import Path
+#: Compact default column set for `repro sweep query` (full rows carry
+#: every config field plus mean/std/min/max per metric).
+_QUERY_COLUMNS = [
+    "index",
+    "n_bins",
+    "n_replicas",
+    "rounds",
+    "process",
+    "d",
+    "adversary",
+    "fault_period",
+    "window_max_load_mean",
+    "window_max_load_max",
+    "min_empty_bins_min",
+    "converged_fraction",
+]
 
+
+def _load_sweep_spec(args: argparse.Namespace):
+    from .sweeps import SweepSpec, get_sweep
+
+    if (args.name is None) == (args.spec_file is None):
+        raise ReproError(
+            "provide exactly one of a catalogued sweep name or --spec-file "
+            "(see `repro sweep list`)"
+        )
+    if args.spec_file is not None:
+        path = Path(args.spec_file)
+        if not path.exists():
+            raise ReproError(f"sweep spec file {path} does not exist")
+        return SweepSpec.from_dict(json.loads(path.read_text()))
+    return get_sweep(args.name)
+
+
+def _print_sweep_report(report) -> None:
+    print(
+        f"sweep {report.spec.name!r}: {report.n_run} point(s) run, "
+        f"{report.n_skipped} already done, {report.n_remaining} remaining "
+        f"({report.engine_seconds:.2f}s engine / "
+        f"{report.elapsed_seconds:.2f}s total)"
+    )
+
+
+def _cmd_sweep_list() -> int:
+    from .sweeps import available_sweeps, get_sweep
+
+    rows = []
+    for name in available_sweeps():
+        spec = get_sweep(name)
+        rows.append(
+            {
+                "name": name,
+                "points": spec.n_points,
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows, columns=["name", "points", "description"]))
+    return 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from .store import ResultStore
+    from .sweeps import run_sweep
+
+    spec = _load_sweep_spec(args)
+    store_dir = Path(args.store)
+    if (store_dir / ResultStore.HEADER_NAME).exists():
+        raise ReproError(
+            f"store {store_dir} already exists; continue it with "
+            f"`repro sweep resume --store {store_dir}`"
+        )
+    if (store_dir / ResultStore.MANIFEST_NAME).exists():
+        raise ReproError(
+            f"{store_dir} holds a manifest but no {ResultStore.HEADER_NAME} "
+            "(incomplete or damaged store); it cannot be resumed — pick a "
+            "fresh --store directory"
+        )
+    report = run_sweep(
+        spec,
+        store_dir,
+        seed=args.seed,
+        engine=args.engine,
+        kernel=args.kernel,
+        n_workers=args.workers,
+        max_points=args.max_points,
+        progress=print,
+    )
+    _print_sweep_report(report)
+    return 0
+
+
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    from .sweeps import resume_sweep
+
+    report = resume_sweep(args.store, max_points=args.max_points, progress=print)
+    _print_sweep_report(report)
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from .sweeps import sweep_status
+
+    status = sweep_status(args.store)
+    state = "finished" if status.finished else "in progress"
+    print(
+        f"sweep {status.name!r}: {status.n_completed}/{status.n_points} "
+        f"point(s) completed ({state})"
+    )
+    if status.pending_indexes:
+        pending = ", ".join(str(i) for i in status.pending_indexes[:16])
+        more = "" if status.n_remaining <= 16 else ", ..."
+        print(f"pending point index(es): {pending}{more}")
+    return 0
+
+
+def _cmd_sweep_query(args: argparse.Namespace) -> int:
+    from .experiments.tables import rows_to_csv
+    from .store import ResultStore
+
+    store = ResultStore.open(args.store)
+    filters = _parse_overrides(args.where)
+    table = store.select(**filters)
+    if not table.rows:
+        print("(no matching points)")
+        return 0
+    columns = args.columns if args.columns else _QUERY_COLUMNS
+    style = "markdown" if args.markdown else "text"
+    print(format_table(table.rows, columns=columns, style=style))
+    if args.csv_path:
+        path = Path(args.csv_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rows_to_csv(table.rows))
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.sweep_command == "list":
+        return _cmd_sweep_list()
+    if args.sweep_command == "run":
+        return _cmd_sweep_run(args)
+    if args.sweep_command == "resume":
+        return _cmd_sweep_resume(args)
+    if args.sweep_command == "status":
+        return _cmd_sweep_status(args)
+    if args.sweep_command == "query":
+        return _cmd_sweep_query(args)
+    raise ReproError(f"unknown sweep command {args.sweep_command!r}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_full_report
 
     report = generate_full_report(
@@ -188,6 +441,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -12,6 +12,15 @@ ablation A2 — run through :func:`~repro.parallel.ensemble.run_ensemble` (or
 the batched fault injector) and accept an ``engine`` parameter; the
 remaining experiments use process classes with per-ball or per-token state
 and stay on the per-trial path.
+
+The multi-point E9/A2 families are *generated from* declarative sweep
+specs (:func:`repro.sweeps.catalog.e9_sweep_spec` /
+:func:`~repro.sweeps.catalog.a2_sweep_spec`): the sweep planner expands
+the parameter grid and assigns grid-size-independent per-point seeds, and
+A2 additionally executes through the sweep scheduler into an in-memory
+result store whose streaming summaries become the table rows.  Running
+``repro sweep run a2_d_choices`` (or ``e9_adversarial``) reproduces the
+same family with a durable store.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ import numpy as np
 
 from .spec import ExperimentResult, ExperimentSpec
 from ..adversary.batched import BatchedFaultyProcess
-from ..adversary.faulty_process import FaultyProcess
+from ..adversary.faulty_process import FaultSchedule, FaultyProcess
 from ..analysis.fitting import fit_power_law
 from ..analysis.negative_association import empirical_zero_zero_probability
 from ..analysis.statistics import summarize_trials
@@ -48,7 +57,16 @@ from ..graphs.walks import ConstrainedParallelWalks
 from ..markov.small_n import appendix_b_counterexample
 from ..parallel.ensemble import EnsembleSpec, run_ensemble
 from ..parallel.runner import run_trials
+from ..parallel.seeding import trial_seed
 from ..rng import as_generator, as_seed_sequence
+from ..store import ResultStore
+from ..sweeps import (
+    a2_sweep_spec,
+    e9_sweep_spec,
+    expand_sweep,
+    fault_period_for_gamma,
+    run_sweep,
+)
 from ..traversal.multi_token import MultiTokenTraversal
 from ..traversal.single_token import SingleTokenWalk, expected_single_cover_time
 
@@ -131,14 +149,16 @@ def run_e8_cover_time(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Exp
 # ----------------------------------------------------------------------
 # E9 — adversarial faults every gamma*n rounds
 # ----------------------------------------------------------------------
-def _e9_batched_point(n, gamma, trials, rounds, adversary, seed):
-    """One (gamma,) table point through the batched fault injector."""
-    if gamma is None or gamma <= 0:
-        process = BatchedFaultyProcess(n, trials, adversary=adversary, seed=seed)
-    else:
-        process = BatchedFaultyProcess.with_gamma(
-            n, trials, gamma=gamma, adversary=adversary, seed=seed
-        )
+def _e9_batched_point(n, fault_period, trials, rounds, adversary, seed):
+    """One sweep-point of the family through the batched fault injector."""
+    schedule = (
+        FaultSchedule.never()
+        if fault_period is None
+        else FaultSchedule.every(fault_period)
+    )
+    process = BatchedFaultyProcess(
+        n, trials, adversary=adversary, schedule=schedule, seed=seed
+    )
     outcome = process.run(rounds)
     recoveries = outcome.flat_recoveries().tolist()
     eligible = [
@@ -158,19 +178,21 @@ def _e9_batched_point(n, gamma, trials, rounds, adversary, seed):
     )
 
 
-def _e9_sequential_point(n, gamma, trials, rounds, adversary, rng):
-    """One (gamma,) table point through per-trial :class:`FaultyProcess` runs."""
+def _e9_sequential_point(n, fault_period, trials, rounds, adversary, rng):
+    """One sweep-point of the family through per-trial :class:`FaultyProcess` runs."""
     recoveries = []
     fault_count = 0
     recovered_count = 0
     eligible_count = 0
     eligible_recovered = 0
     max_loads = []
+    schedule = (
+        FaultSchedule.never()
+        if fault_period is None
+        else FaultSchedule.every(fault_period)
+    )
     for _ in range(trials):
-        if gamma is None or gamma <= 0:
-            process = FaultyProcess(n, adversary=adversary, seed=rng)
-        else:
-            process = FaultyProcess.with_gamma(n, gamma=gamma, adversary=adversary, seed=rng)
+        process = FaultyProcess(n, adversary=adversary, schedule=schedule, seed=rng)
         outcome = process.run(rounds)
         max_loads.append(outcome.max_load_seen)
         recoveries.extend(r for r in outcome.recovery_times if r >= 0)
@@ -202,11 +224,28 @@ def run_e9_adversarial(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Ex
     rounds_factor = params["rounds_factor"]
     adversary = params["adversary"]
     engine = params["engine"]
-    rng = as_generator(seed)
-    seed_children = as_seed_sequence(seed).spawn(len(gammas))
 
-    for point, gamma in enumerate(gammas):
-        rounds = int(rounds_factor * n)
+    # The family's points (fault cadence grid) and their seeds are generated
+    # by the sweep planner: point i's stream is independent of how many
+    # gammas the table sweeps over.  Gammas that resolve to the same fault
+    # period share one sweep point (and therefore one measured result).
+    plan = expand_sweep(
+        e9_sweep_spec(
+            n=n,
+            gammas=gammas,
+            trials=trials,
+            rounds_factor=rounds_factor,
+            adversary=adversary,
+        )
+    )
+    point_by_period = {p.config["fault_period"]: p for p in plan.points}
+    root = as_seed_sequence(seed)
+
+    for gamma in gammas:
+        sweep_point = point_by_period[fault_period_for_gamma(gamma, n)]
+        rounds = sweep_point.config["rounds"]
+        period = sweep_point.config["fault_period"]
+        point_seed = sweep_point.seed(root)
         if engine == "sequential":
             (
                 recoveries,
@@ -215,7 +254,10 @@ def run_e9_adversarial(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Ex
                 eligible_count,
                 eligible_recovered,
                 max_loads,
-            ) = _e9_sequential_point(n, gamma, trials, rounds, adversary, rng)
+            ) = _e9_sequential_point(
+                n, period, trials, rounds, adversary,
+                np.random.default_rng(point_seed),
+            )
         else:
             (
                 recoveries,
@@ -225,10 +267,9 @@ def run_e9_adversarial(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Ex
                 eligible_recovered,
                 max_loads,
             ) = _e9_batched_point(
-                n, gamma, trials, rounds, adversary, seed_children[point]
+                n, period, trials, rounds, adversary, point_seed
             )
         rec_summary = summarize_trials(recoveries) if recoveries else None
-        period = None if (gamma is None or gamma <= 0) else int(gamma * n)
         result.add_row(
             n=n,
             gamma=0 if gamma is None else gamma,
@@ -576,28 +617,34 @@ def run_a2_d_choices(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Expe
     trials = params["trials"]
     rounds_factor = params["rounds_factor"]
     engine = params["engine"]
-    seed_children = as_seed_sequence(seed).spawn(len(sizes) * len(d_values))
+
+    # The whole (size x d) family is generated from a declarative sweep
+    # spec and executed by the sweep scheduler into an (ephemeral) result
+    # store; the table consumes the store's streaming summaries.  `repro
+    # sweep run a2_d_choices --store DIR` runs the same spec durably.
+    # Duplicate (n, d) pairs in the parameters share one sweep point.
+    sweep = a2_sweep_spec(
+        sizes=sizes, d_values=d_values, trials=trials, rounds_factor=rounds_factor
+    )
+    plan = expand_sweep(sweep)
+    store = ResultStore.in_memory()
+    run_sweep(sweep, store, seed=seed, engine=engine)
+    point_by_nd = {
+        (p.config["n_bins"], p.config["d"]): p for p in plan.points
+    }
 
     point = 0
     for n in sizes:
-        rounds = max(int(rounds_factor * n), 1)
         log_n = max(math.log(n), 1.0)
         for d in d_values:
-            one_shot_seq, repeated_seq = seed_children[point].spawn(2)
+            sweep_point = point_by_nd[(int(n), int(d))]
+            row = store.select(point_id=sweep_point.point_id).rows[0]
+            rounds = row["rounds"]
+            # the one-shot baseline is not an ensemble run; seed it from
+            # the planner's stream space *beyond* the sweep's indexes so
+            # the two never collide
+            one_shot_seq = trial_seed(seed, plan.n_points + point)
             point += 1
-            ensemble = run_ensemble(
-                EnsembleSpec(
-                    n_bins=n,
-                    n_replicas=trials,
-                    rounds=rounds,
-                    start="random_uniform",
-                    process="d_choices",
-                    d=d,
-                ),
-                seed=repeated_seq,
-                engine=engine,
-            )
-            repeated = ensemble.max_load_seen.astype(float)
             if engine == "sequential":
                 one_shot_rng = np.random.default_rng(one_shot_seq)
                 one_shot = np.asarray(
@@ -611,16 +658,15 @@ def run_a2_d_choices(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Expe
                 one_shot = batched_one_shot_d_choices_max_load(
                     n, trials, d=d, seed=np.random.default_rng(one_shot_seq)
                 ).astype(float)
-            rep_summary = summarize_trials(repeated)
             one_summary = summarize_trials(one_shot)
             result.add_row(
                 n=n,
                 d=d,
                 rounds=rounds,
                 trials=trials,
-                repeated_mean_window_max=rep_summary.mean,
-                repeated_max_window_max=rep_summary.maximum,
-                repeated_over_log_n=rep_summary.mean / log_n,
+                repeated_mean_window_max=row["window_max_load_mean"],
+                repeated_max_window_max=row["window_max_load_max"],
+                repeated_over_log_n=row["window_max_load_mean"] / log_n,
                 one_shot_mean_max=one_summary.mean,
                 one_shot_prediction=(
                     theoretical_d_choices_max_load(n, d) if d >= 2 else

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -16,14 +17,21 @@ PathLike = Union[str, Path]
 
 
 def _jsonify(value: Any) -> Any:
-    """Best-effort conversion of NumPy scalars/arrays to plain Python."""
+    """Conversion of NumPy scalars/arrays to strictly-valid plain JSON.
+
+    Non-finite floats (``nan``/``inf``, Python or NumPy) become ``None``:
+    ``json.dumps`` would otherwise emit the non-standard tokens ``NaN`` /
+    ``Infinity``, which strict parsers reject.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
     if hasattr(value, "item") and not isinstance(value, (str, bytes)):
         try:
-            return value.item()
+            return _jsonify(value.item())
         except (ValueError, AttributeError):
             pass
     if hasattr(value, "tolist"):
-        return value.tolist()
+        return _jsonify(value.tolist())
     if isinstance(value, dict):
         return {k: _jsonify(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -32,11 +40,18 @@ def _jsonify(value: Any) -> Any:
 
 
 def save_result_json(result: ExperimentResult, path: PathLike) -> Path:
-    """Write an experiment result to ``path`` as JSON; returns the path."""
+    """Write an experiment result to ``path`` as strictly-valid JSON.
+
+    Non-finite metric values are written as ``null`` (see :func:`_jsonify`);
+    ``allow_nan=False`` guarantees the output never contains the
+    non-standard ``NaN``/``Infinity`` tokens.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = _jsonify(result.to_dict())
-    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False, allow_nan=False) + "\n"
+    )
     return path
 
 

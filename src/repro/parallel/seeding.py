@@ -30,9 +30,15 @@ def trial_seeds(seed: SeedLike, n_trials: int) -> List[np.random.SeedSequence]:
 def trial_seed(seed: SeedLike, trial_index: int) -> np.random.SeedSequence:
     """The seed sequence of a single trial, without spawning the whole list.
 
-    ``trial_seed(s, i)`` equals ``trial_seeds(s, n)[i]`` for every ``n > i``.
+    ``trial_seed(s, i)`` equals ``trial_seeds(s, n)[i]`` for every ``n > i``
+    (for a root that has not spawned children through other means).  The
+    root's own ``spawn_key`` is part of the derivation, so two distinct
+    spawned children of one ancestor yield *independent* trial streams —
+    not copies of each other.
     """
     if trial_index < 0:
         raise ConfigurationError(f"trial_index must be >= 0, got {trial_index}")
     base = as_seed_sequence(seed)
-    return np.random.SeedSequence(entropy=base.entropy, spawn_key=(trial_index,))
+    return np.random.SeedSequence(
+        entropy=base.entropy, spawn_key=tuple(base.spawn_key) + (trial_index,)
+    )

@@ -1,0 +1,25 @@
+"""Durable, queryable storage for sweep results.
+
+The store layer persists completed sweep points (one manifest line plus
+one npz shard of per-replica metric vectors each) and answers queries
+from streaming summaries alone:
+
+* :class:`ResultStore` — append-only on-disk (or in-memory) store with
+  ``select`` / ``summarize`` / ``max_load_tail`` query methods.
+* :class:`PointTable` — column-oriented view of a query, whose rows feed
+  :func:`repro.experiments.tables.format_table` directly.
+* :class:`StreamingMoments` / :class:`TailCounter` — single-pass,
+  mergeable aggregation primitives (Welford/Chan moments, exact max-load
+  tail histograms).
+"""
+
+from .store import PointTable, ResultStore, canonical_json
+from .streaming import StreamingMoments, TailCounter
+
+__all__ = [
+    "ResultStore",
+    "PointTable",
+    "StreamingMoments",
+    "TailCounter",
+    "canonical_json",
+]

@@ -1,0 +1,194 @@
+"""Streaming (single-pass, mergeable) aggregation of replica metrics.
+
+The result store records, for every sweep point, a summary of each metric
+vector *without* ever requiring all replicas in memory at query time:
+
+:class:`StreamingMoments`
+    Welford/Chan running moments (count, mean, M2, min, max).  Updates
+    consume values one batch at a time; two accumulators over disjoint
+    data merge exactly (Chan's parallel formula), so per-point summaries
+    stored in the manifest can later be combined across points — or
+    recomputed chunk by chunk — and agree with a full batch computation to
+    floating-point accuracy.
+:class:`TailCounter`
+    An exact integer histogram used for max-load tail counts: from the
+    per-value counts, ``tail(k)`` (how many replicas ever saw a window
+    maximum ``>= k``) is available for every threshold without revisiting
+    the replicas.
+
+Both accumulators round-trip through plain-JSON dictionaries
+(:meth:`~StreamingMoments.to_dict` / :meth:`~StreamingMoments.from_dict`),
+which is how they live inside manifest records.
+
+Example
+-------
+>>> m = StreamingMoments()
+>>> m.update([1.0, 2.0])
+>>> m.update([3.0])
+>>> m.count, m.mean, round(m.variance(), 12)
+(3, 2.0, 0.666666666667)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["StreamingMoments", "TailCounter"]
+
+
+@dataclass
+class StreamingMoments:
+    """Single-pass running moments with exact pairwise merging.
+
+    Maintains ``count``, ``mean``, the centered second moment ``m2``
+    (``sum (x - mean)^2``), and the running ``min``/``max``.  ``update``
+    accepts scalar batches of any size; ``merge`` combines two
+    accumulators computed over disjoint data, which makes the statistic
+    decomposable across store shards.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def update(self, values: Union[float, Iterable[float], np.ndarray]) -> None:
+        """Fold a batch of values into the running moments."""
+        arr = np.atleast_1d(np.asarray(values, dtype=float)).ravel()
+        if arr.size == 0:
+            return
+        if not np.isfinite(arr).all():
+            raise ConfigurationError(
+                "StreamingMoments.update received non-finite values"
+            )
+        batch = StreamingMoments(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            m2=float(((arr - arr.mean()) ** 2).sum()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+        )
+        merged = self.merged(batch)
+        self.count, self.mean, self.m2 = merged.count, merged.mean, merged.m2
+        self.minimum, self.maximum = merged.minimum, merged.maximum
+
+    def merged(self, other: "StreamingMoments") -> "StreamingMoments":
+        """The exact moments of the union of both accumulators' data."""
+        if other.count == 0:
+            return StreamingMoments(
+                self.count, self.mean, self.m2, self.minimum, self.maximum
+            )
+        if self.count == 0:
+            return StreamingMoments(
+                other.count, other.mean, other.m2, other.minimum, other.maximum
+            )
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / n
+        m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / n
+        return StreamingMoments(
+            count=n,
+            mean=mean,
+            m2=m2,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    def variance(self, ddof: int = 0) -> float:
+        """Variance of the data seen so far (0.0 when under-determined)."""
+        if ddof < 0:
+            raise ConfigurationError(f"ddof must be >= 0, got {ddof}")
+        if self.count <= ddof:
+            return 0.0
+        return self.m2 / (self.count - ddof)
+
+    def std(self, ddof: int = 0) -> float:
+        return math.sqrt(self.variance(ddof=ddof))
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-JSON representation stored in manifest records."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "m2": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, float]) -> "StreamingMoments":
+        count = int(payload["count"])
+        if count == 0:
+            return cls()
+        return cls(
+            count=count,
+            mean=float(payload["mean"]),
+            m2=float(payload["m2"]),
+            minimum=float(payload["min"]),
+            maximum=float(payload["max"]),
+        )
+
+
+@dataclass
+class TailCounter:
+    """Exact integer histogram supporting tail queries and merging.
+
+    >>> t = TailCounter()
+    >>> t.update([3, 3, 5])
+    >>> t.tail(4)
+    1
+    >>> t.tail_fraction(3)
+    1.0
+    """
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def update(self, values: Union[int, Iterable[int], np.ndarray]) -> None:
+        arr = np.atleast_1d(np.asarray(values)).ravel()
+        if arr.size == 0:
+            return
+        if not np.issubdtype(arr.dtype, np.integer):
+            rounded = np.rint(np.asarray(arr, dtype=float))
+            if not np.all(rounded == arr):
+                raise ConfigurationError(
+                    "TailCounter.update requires integer-valued data"
+                )
+            arr = rounded.astype(np.int64)
+        uniques, counts = np.unique(arr, return_counts=True)
+        for value, count in zip(uniques.tolist(), counts.tolist()):
+            self.counts[int(value)] = self.counts.get(int(value), 0) + int(count)
+
+    def merged(self, other: "TailCounter") -> "TailCounter":
+        merged = dict(self.counts)
+        for value, count in other.counts.items():
+            merged[value] = merged.get(value, 0) + count
+        return TailCounter(counts=merged)
+
+    def tail(self, threshold: int) -> int:
+        """Number of recorded values ``>= threshold``."""
+        return sum(c for v, c in self.counts.items() if v >= int(threshold))
+
+    def tail_fraction(self, threshold: int) -> float:
+        total = self.total
+        return self.tail(threshold) / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON object keyed by the stringified value (JSON keys are strings)."""
+        return {str(value): self.counts[value] for value in sorted(self.counts)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, int]) -> "TailCounter":
+        return cls(counts={int(v): int(c) for v, c in payload.items()})

@@ -1,0 +1,49 @@
+"""Declarative, resumable parameter sweeps over the ensemble engine.
+
+The paper's claims are statements *across regimes* — system size, load,
+process family, adversary cadence — and this package is the layer that
+feeds the batched ensemble engine whole regimes at a time:
+
+* :class:`SweepSpec` — a declarative sweep (cartesian grid + explicit
+  point list over ``EnsembleSpec`` fields).
+* :func:`expand_sweep` — the deterministic planner: resolved per-point
+  configurations, content-hashed point ids, and per-point seeds that do
+  not depend on the grid size.
+* :func:`run_sweep` / :func:`resume_sweep` / :func:`sweep_status` — the
+  scheduler: executes points through ``run_ensemble``, checkpoints each
+  completed point into a :class:`~repro.store.ResultStore`, and resumes
+  a killed sweep without re-running anything.
+* :mod:`~repro.sweeps.catalog` — named sweeps (the A2/E9 experiment
+  families, a CI smoke grid) runnable via ``repro sweep run <name>``.
+"""
+
+from .catalog import (
+    a2_sweep_spec,
+    available_sweeps,
+    e9_sweep_spec,
+    fault_period_for_gamma,
+    get_sweep,
+    smoke_sweep_spec,
+)
+from .plan import SweepPlan, SweepPoint, expand_sweep, point_id_of
+from .scheduler import SweepReport, resume_sweep, run_sweep, sweep_status
+from .spec import SWEEPABLE_FIELDS, SweepSpec
+
+__all__ = [
+    "SweepSpec",
+    "SWEEPABLE_FIELDS",
+    "SweepPlan",
+    "SweepPoint",
+    "expand_sweep",
+    "point_id_of",
+    "SweepReport",
+    "run_sweep",
+    "resume_sweep",
+    "sweep_status",
+    "a2_sweep_spec",
+    "e9_sweep_spec",
+    "fault_period_for_gamma",
+    "smoke_sweep_spec",
+    "get_sweep",
+    "available_sweeps",
+]

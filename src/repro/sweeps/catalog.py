@@ -1,0 +1,165 @@
+"""Named sweeps: reusable :class:`SweepSpec` builders and a CLI registry.
+
+Two kinds of entries live here:
+
+* **Experiment families.**  The multi-point parameter families of the
+  registered ablations are *generated from* sweep specs instead of
+  hand-written loops: :func:`a2_sweep_spec` (the A2 Greedy[d] grid over
+  sizes × d) and :func:`e9_sweep_spec` (the E9 adversarial-fault points
+  over gamma).  ``repro.experiments.definitions_extended`` builds its
+  table points from these, and the same specs are runnable standalone
+  via ``repro sweep run a2_d_choices`` with a durable store.
+* **Smoke sweeps.**  ``smoke`` is a 4-point grid sized for CI: it
+  exercises grid expansion, two process families, checkpoint/resume, and
+  store equality in well under a second.
+
+Builder defaults mirror the experiment registry defaults, so a bare
+``repro sweep run <name>`` reproduces the registered family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .spec import SweepSpec
+from ..errors import ConfigurationError
+
+__all__ = [
+    "a2_sweep_spec",
+    "e9_sweep_spec",
+    "fault_period_for_gamma",
+    "smoke_sweep_spec",
+    "get_sweep",
+    "available_sweeps",
+]
+
+
+def fault_period_for_gamma(gamma: Optional[float], n: int) -> Optional[int]:
+    """The fault period of one E9 gamma (``FaultyProcess.with_gamma`` rule).
+
+    ``None`` (or a non-positive gamma) is the fault-free control point.
+    """
+    if gamma is None or gamma <= 0:
+        return None
+    return max(int(math.ceil(gamma * n)), 1)
+
+
+def _deduped(points: List[dict]) -> List[dict]:
+    """Drop repeated point assignments (callers may pass duplicate values;
+    the planner rejects duplicate-resolving points because they would
+    collide in the store)."""
+    unique: List[dict] = []
+    for point in points:
+        if point not in unique:
+            unique.append(point)
+    return unique
+
+
+def a2_sweep_spec(
+    sizes: Sequence[int] = (64, 128, 256),
+    d_values: Sequence[int] = (1, 2, 4),
+    trials: int = 8,
+    rounds_factor: float = 1.0,
+) -> SweepSpec:
+    """The A2 ablation grid: repeated Greedy[d] over sizes × d.
+
+    The round budget scales with ``n`` (``rounds_factor * n``), which a
+    cartesian grid cannot express, so the sweep is an explicit point
+    list over the same (size, d) product the ablation tabulates.
+    """
+    points = _deduped(
+        [
+            {
+                "n_bins": int(n),
+                "rounds": max(int(rounds_factor * n), 1),
+                "d": int(d),
+            }
+            for n in sizes
+            for d in d_values
+        ]
+    )
+    return SweepSpec(
+        name="a2_d_choices",
+        description=(
+            "A2 ablation: repeated Greedy[d] window max load over "
+            "sizes x d (paper related work [36])"
+        ),
+        base={
+            "n_replicas": int(trials),
+            "start": "random_uniform",
+            "process": "d_choices",
+        },
+        points=points,
+    )
+
+
+def e9_sweep_spec(
+    n: int = 256,
+    gammas: Sequence[Optional[float]] = (2.0, 6.0, 12.0, None),
+    trials: int = 5,
+    rounds_factor: float = 30.0,
+    adversary: str = "concentrate",
+) -> SweepSpec:
+    """The E9 family: adversarial faults every ``gamma * n`` rounds.
+
+    ``gamma = None`` (or ``<= 0``) is the fault-free control point; other
+    gammas derive an explicit integer ``fault_period``.
+    """
+    points = _deduped(
+        [
+            {
+                "n_bins": int(n),
+                "rounds": int(rounds_factor * n),
+                "fault_period": fault_period_for_gamma(gamma, n),
+            }
+            for gamma in gammas
+        ]
+    )
+    return SweepSpec(
+        name="e9_adversarial",
+        description=(
+            "E9 family: the plain process under Section 4.1 adversarial "
+            "faults every gamma*n rounds (window metrics)"
+        ),
+        base={
+            "n_replicas": int(trials),
+            "process": "faulty",
+            "adversary": adversary,
+        },
+        points=points,
+    )
+
+
+def smoke_sweep_spec() -> SweepSpec:
+    """A 4-point grid sized for CI smoke tests (sub-second end to end)."""
+    return SweepSpec(
+        name="smoke",
+        description=(
+            "4-point CI smoke grid: {16, 32} bins x {rbb, d_choices}"
+        ),
+        base={"n_replicas": 4, "rounds": 8, "start": "random_uniform"},
+        grid={"n_bins": [16, 32], "process": ["rbb", "d_choices"]},
+    )
+
+
+_CATALOG: Dict[str, Callable[[], SweepSpec]] = {
+    "a2_d_choices": a2_sweep_spec,
+    "e9_adversarial": e9_sweep_spec,
+    "smoke": smoke_sweep_spec,
+}
+
+
+def available_sweeps() -> List[str]:
+    """Names of every catalogued sweep, sorted."""
+    return sorted(_CATALOG)
+
+
+def get_sweep(name: str) -> SweepSpec:
+    """Build a catalogued sweep by name (raises for unknown names)."""
+    key = name.lower()
+    if key not in _CATALOG:
+        raise ConfigurationError(
+            f"unknown sweep {name!r}; available: {', '.join(available_sweeps())}"
+        )
+    return _CATALOG[key]()

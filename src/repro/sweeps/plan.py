@@ -1,0 +1,146 @@
+"""Sweep planning: expand a :class:`SweepSpec` into concrete points.
+
+The planner is deterministic and side-effect free: it turns the
+declarative spec into an ordered list of :class:`SweepPoint` objects, each
+carrying
+
+``config``
+    The **fully resolved** ``EnsembleSpec`` field assignment (defaults
+    filled in), validated by constructing the ``EnsembleSpec`` once at
+    planning time so malformed points fail before anything runs.
+``point_id``
+    A content hash (SHA-256, 16 hex chars) of the canonical JSON encoding
+    of ``config``.  Two points with the same resolved configuration hash
+    identically — across grid reorderings, sweep renames, and sessions —
+    which is what keys shards in the result store.
+``index``
+    The point's position in expansion order (grid first, row-major with
+    the last axis fastest; explicit points after).
+
+Per-point seeds reuse :func:`repro.parallel.seeding.trial_seed`: point
+``i`` receives ``SeedSequence(entropy, spawn_key=(i,))``, so its stream
+depends only on the root seed and its index — not on how many other
+points the sweep contains.  A sweep extended with more points leaves
+existing points' results untouched.
+
+>>> from .spec import SweepSpec
+>>> plan = expand_sweep(SweepSpec(
+...     name="demo",
+...     base={"n_replicas": 4, "rounds": 8},
+...     grid={"n_bins": [16, 32], "d": [1, 2]},
+... ))
+>>> [(p.config["n_bins"], p.config["d"]) for p in plan.points]
+[(16, 1), (16, 2), (32, 1), (32, 2)]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping
+
+import numpy as np
+
+from .spec import SweepSpec
+from ..errors import ConfigurationError
+from ..parallel.ensemble import EnsembleSpec
+from ..parallel.seeding import trial_seed
+from ..types import SeedLike
+
+__all__ = ["SweepPoint", "SweepPlan", "expand_sweep", "point_id_of"]
+
+
+def point_id_of(config: Mapping[str, Any]) -> str:
+    """Content hash of one resolved point configuration (16 hex chars)."""
+    canonical = json.dumps(
+        dict(config), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _resolve_config(assignment: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate one assignment and fill in EnsembleSpec defaults."""
+    try:
+        spec = EnsembleSpec(**assignment)
+    except TypeError as exc:  # missing required fields read poorly raw
+        raise ConfigurationError(
+            f"sweep point {dict(assignment)} is not a valid EnsembleSpec: {exc}"
+        ) from exc
+    return {f.name: getattr(spec, f.name) for f in dataclasses.fields(spec)}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One concrete point of an expanded sweep."""
+
+    index: int
+    config: Mapping[str, Any]
+    point_id: str
+
+    def ensemble_spec(self) -> EnsembleSpec:
+        """The ensemble this point runs."""
+        return EnsembleSpec(**self.config)
+
+    def seed(self, root: SeedLike) -> np.random.SeedSequence:
+        """This point's seed stream (independent of the sweep's size)."""
+        return trial_seed(root, self.index)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An expanded sweep: the spec plus its ordered, validated points."""
+
+    spec: SweepSpec
+    points: List[SweepPoint]
+
+    @property
+    def n_points(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def point_by_id(self, point_id: str) -> SweepPoint:
+        for point in self.points:
+            if point.point_id == point_id:
+                return point
+        raise ConfigurationError(f"plan has no point with id {point_id!r}")
+
+
+def expand_sweep(spec: SweepSpec) -> SweepPlan:
+    """Expand a :class:`SweepSpec` into its ordered list of points.
+
+    Grid axes expand row-major in declaration order (last axis fastest),
+    explicit points follow.  Each point's configuration is resolved
+    against the ``EnsembleSpec`` defaults and content-hashed; duplicate
+    resolved configurations are rejected (they would collide in the
+    store).
+    """
+    assignments: List[Dict[str, Any]] = []
+    if spec.grid:
+        axes = list(spec.grid)
+        for combo in itertools.product(*(spec.grid[a] for a in axes)):
+            assignment = dict(spec.base)
+            assignment.update(dict(zip(axes, combo)))
+            assignments.append(assignment)
+    for point in spec.points:
+        assignment = dict(spec.base)
+        assignment.update(point)
+        assignments.append(assignment)
+
+    points: List[SweepPoint] = []
+    seen: Dict[str, int] = {}
+    for index, assignment in enumerate(assignments):
+        config = _resolve_config(assignment)
+        point_id = point_id_of(config)
+        if point_id in seen:
+            raise ConfigurationError(
+                f"sweep {spec.name!r}: points {seen[point_id]} and {index} "
+                "resolve to the same configuration; deduplicate the spec"
+            )
+        seen[point_id] = index
+        points.append(SweepPoint(index=index, config=config, point_id=point_id))
+    return SweepPlan(spec=spec, points=points)

@@ -1,0 +1,173 @@
+"""Declarative parameter-sweep specifications.
+
+A :class:`SweepSpec` describes a *family* of ensembles over the fields of
+:class:`~repro.parallel.ensemble.EnsembleSpec` — system size ``n_bins``,
+load ``n_balls``, round budget, process family (``rbb`` / ``d_choices`` /
+``faulty``), ``d``, adversary, fault cadence, and ensemble size
+``n_replicas`` — as the union of
+
+* a **cartesian grid**: ``grid={"n_bins": [256, 1024], "d": [1, 2, 4]}``
+  expands to every combination, axes varying in declaration order with the
+  last axis fastest (row-major, like ``itertools.product``), and
+* an **explicit point list**: ``points=[{...}, ...]`` for irregular
+  families (e.g. round budgets that scale with ``n``).
+
+``base`` supplies fields shared by every point; grid assignments and
+explicit points override it.  Values must be JSON scalars so that points
+can be content-hashed and round-tripped through sweep files; in
+particular, ``start`` must be one of the named start families.
+
+Specs serialize losslessly (:meth:`SweepSpec.to_dict` /
+:meth:`SweepSpec.from_dict`), which is how the scheduler checkpoints them
+into a store header and how the CLI loads them from JSON files.
+
+Example
+-------
+>>> spec = SweepSpec(
+...     name="demo",
+...     base={"n_replicas": 8, "rounds": 16},
+...     grid={"n_bins": [16, 32], "process": ["rbb", "d_choices"]},
+... )
+>>> spec.n_points
+4
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..parallel.ensemble import EnsembleSpec
+
+__all__ = ["SweepSpec", "SWEEPABLE_FIELDS"]
+
+#: Fields a sweep may set: exactly the EnsembleSpec surface.
+SWEEPABLE_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(EnsembleSpec)
+)
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _check_scalar(field_name: str, value: Any, where: str) -> None:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise ConfigurationError(
+            f"sweep {where} field {field_name!r} must be a JSON scalar "
+            f"(bool/int/float/str/None), got {type(value).__name__}"
+        )
+
+
+def _check_fields(assignment: Mapping[str, Any], where: str) -> None:
+    unknown = set(assignment) - set(SWEEPABLE_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"sweep {where} sets unknown EnsembleSpec field(s) "
+            f"{sorted(unknown)}; sweepable fields: {sorted(SWEEPABLE_FIELDS)}"
+        )
+    for name, value in assignment.items():
+        _check_scalar(name, value, where)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a parameter sweep.
+
+    Attributes
+    ----------
+    name:
+        Short identifier recorded in store headers and status output.
+    base:
+        EnsembleSpec fields shared by every point (overridden per point).
+    grid:
+        Cartesian axes ``{field: [values, ...]}``; empty for point-list
+        sweeps.
+    points:
+        Explicit per-point field assignments appended after the grid
+        expansion.
+    description:
+        One-line human-readable summary (shown by the CLI and the catalog).
+    """
+
+    name: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    points: Sequence[Mapping[str, Any]] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep name must be non-empty")
+        object.__setattr__(self, "base", dict(self.base))
+        object.__setattr__(
+            self, "grid", {k: list(v) for k, v in self.grid.items()}
+        )
+        object.__setattr__(self, "points", tuple(dict(p) for p in self.points))
+        _check_fields(self.base, "base")
+        _check_fields(
+            {k: None for k in self.grid}, "grid"
+        )  # axis names only; values checked below
+        for axis, values in self.grid.items():
+            if not values:
+                raise ConfigurationError(
+                    f"sweep grid axis {axis!r} has no values"
+                )
+            for value in values:
+                _check_scalar(axis, value, "grid")
+        for i, point in enumerate(self.points):
+            _check_fields(point, f"points[{i}]")
+        if not self.grid and not self.points:
+            raise ConfigurationError(
+                "sweep describes no points (empty grid and empty point list)"
+            )
+
+    @property
+    def n_points(self) -> int:
+        """Number of points the sweep expands to."""
+        total = len(self.points)
+        if self.grid:
+            grid_points = 1
+            for values in self.grid.values():
+                grid_points *= len(values)
+            total += grid_points
+        return total
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (lossless round trip).
+
+        The grid is emitted as a list of ``[axis, values]`` pairs rather
+        than an object: axis *order* determines the expansion order (and
+        therefore per-point indexes and seeds), and a list survives
+        key-sorting JSON encoders that would silently reorder an object.
+        """
+        return {
+            "name": self.name,
+            "description": self.description,
+            "base": dict(self.base),
+            "grid": [[k, list(v)] for k, v in self.grid.items()],
+            "points": [dict(p) for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        known = {"name", "description", "base", "grid", "points"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"sweep spec has unknown key(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if "name" not in payload:
+            raise ConfigurationError("sweep spec is missing the 'name' key")
+        grid = payload.get("grid", {})
+        if not isinstance(grid, Mapping):
+            # the order-preserving [[axis, values], ...] form from to_dict
+            grid = dict(grid)
+        return cls(
+            name=payload["name"],
+            description=payload.get("description", ""),
+            base=payload.get("base", {}),
+            grid=grid,
+            points=payload.get("points", []),
+        )

@@ -121,3 +121,126 @@ class TestMain:
     def test_engine_flag_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "E1", "--engine", "quantum"])
+
+
+class TestSweepCli:
+    def test_parser_parses_sweep_run(self):
+        args = build_parser().parse_args(
+            ["sweep", "run", "smoke", "--store", "s", "--seed", "3", "--max-points", "2"]
+        )
+        assert args.command == "sweep" and args.sweep_command == "run"
+        assert args.name == "smoke" and args.max_points == 2
+
+    def test_sweep_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_list(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "a2_d_choices" in out and "e9_adversarial" in out
+
+    def test_sweep_run_status_query(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        code = main(
+            ["sweep", "run", "smoke", "--store", str(store), "--seed", "3", "--kernel", "numpy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 point(s) run" in out
+        assert (store / "sweep.json").exists()
+        assert (store / "manifest.jsonl").exists()
+        assert len(list((store / "shards").glob("*.npz"))) == 4
+
+        assert main(["sweep", "status", "--store", str(store)]) == 0
+        assert "4/4" in capsys.readouterr().out
+
+        assert main(["sweep", "query", "--store", str(store), "-w", "process=rbb"]) == 0
+        out = capsys.readouterr().out
+        assert "window_max_load_mean" in out and "rbb" in out
+
+    def test_sweep_run_refuses_existing_store(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(["sweep", "run", "smoke", "--store", str(store), "--kernel", "numpy"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "run", "smoke", "--store", str(store)]) == 2
+        assert "sweep resume" in capsys.readouterr().err
+
+    def test_sweep_run_refuses_headerless_manifest_dir(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "manifest.jsonl").write_text("{}\n")
+        assert main(["sweep", "run", "smoke", "--store", str(store)]) == 2
+        assert "damaged" in capsys.readouterr().err
+
+    def test_sweep_kill_and_resume_matches_full_run(self, capsys, tmp_path):
+        full, killed = tmp_path / "full", tmp_path / "killed"
+        common = ["--seed", "7", "--kernel", "numpy"]
+        assert main(["sweep", "run", "smoke", "--store", str(full)] + common) == 0
+        assert (
+            main(
+                ["sweep", "run", "smoke", "--store", str(killed), "--max-points", "2"]
+                + common
+            )
+            == 0
+        )
+        assert main(["sweep", "resume", "--store", str(killed)]) == 0
+        capsys.readouterr()
+        assert (full / "manifest.jsonl").read_bytes() == (
+            killed / "manifest.jsonl"
+        ).read_bytes()
+
+    def test_sweep_run_from_spec_file(self, capsys, tmp_path):
+        import json as json_module
+
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(
+            json_module.dumps(
+                {
+                    "name": "custom",
+                    "base": {"n_replicas": 2, "rounds": 2},
+                    "grid": {"n_bins": [8, 16]},
+                }
+            )
+        )
+        store = tmp_path / "store"
+        code = main(
+            [
+                "sweep", "run",
+                "--spec-file", str(spec_path),
+                "--store", str(store),
+                "--kernel", "numpy",
+            ]
+        )
+        assert code == 0
+        assert "2 point(s) run" in capsys.readouterr().out
+
+    def test_sweep_run_requires_exactly_one_source(self, capsys, tmp_path):
+        assert main(["sweep", "run", "--store", str(tmp_path / "s")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "sweep", "run", "smoke",
+                    "--spec-file", "x.json",
+                    "--store", str(tmp_path / "s"),
+                ]
+            )
+            == 2
+        )
+
+    def test_sweep_query_empty_result(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(["sweep", "run", "smoke", "--store", str(store), "--kernel", "numpy"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "query", "--store", str(store), "-w", "n=999"]) == 0
+        assert "no matching points" in capsys.readouterr().out
+
+    def test_sweep_query_csv_export(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(["sweep", "run", "smoke", "--store", str(store), "--kernel", "numpy"]) == 0
+        csv_path = tmp_path / "out.csv"
+        assert main(["sweep", "query", "--store", str(store), "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "point_id" in header and "window_max_load_mean" in header

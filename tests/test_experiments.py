@@ -128,6 +128,33 @@ class TestIO:
         assert payload["rows"][0]["n"] == 4
         assert payload["rows"][0]["arr"] == [1, 2]
 
+    def test_json_non_finite_floats_become_null(self, spec, tmp_path):
+        """Regression: NaN/Infinity metrics must not leak non-standard JSON."""
+        import numpy as np
+
+        result = ExperimentResult(spec=spec, params={})
+        result.add_row(
+            plain_nan=float("nan"),
+            np_nan=np.float64("nan"),
+            pos_inf=float("inf"),
+            neg_inf=np.float64("-inf"),
+            arr=np.array([1.0, float("nan"), float("inf")]),
+            nested={"inner": float("nan")},
+            finite=1.5,
+        )
+        path = save_result_json(result, tmp_path / "nan.json")
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        payload = json.loads(text)  # strict parse succeeds
+        row = payload["rows"][0]
+        assert row["plain_nan"] is None
+        assert row["np_nan"] is None
+        assert row["pos_inf"] is None
+        assert row["neg_inf"] is None
+        assert row["arr"] == [1.0, None, None]
+        assert row["nested"] == {"inner": None}
+        assert row["finite"] == 1.5
+
     def test_csv_output(self, spec, tmp_path):
         result = ExperimentResult(spec=spec, params={})
         result.add_row(a=1, b=2)
@@ -243,6 +270,33 @@ class TestRunExperimentSmallScale:
             seed=0,
         )
         assert len(result.rows) == 2
+
+    def test_e9_duplicate_gammas_still_produce_rows(self):
+        """gammas that resolve to the same fault period (None and 0 both
+        mean fault-free) share one sweep point but keep their table rows."""
+        result = run_experiment(
+            "E9",
+            params={"n": 16, "gammas": [None, 0], "trials": 2, "rounds_factor": 2.0},
+            seed=0,
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0]["fault_period"] is None
+        assert result.rows[0]["mean_window_max_load"] == (
+            result.rows[1]["mean_window_max_load"]
+        )
+
+    def test_a2_small_and_duplicate_sizes(self):
+        result = run_experiment(
+            "A2",
+            params={"sizes": [16, 16], "d_values": [1, 2], "trials": 2, "rounds_factor": 1.0},
+            seed=0,
+        )
+        assert len(result.rows) == 4
+        # duplicate sizes share one sweep point per d
+        assert (
+            result.rows[0]["repeated_mean_window_max"]
+            == result.rows[2]["repeated_mean_window_max"]
+        )
 
     def test_e10_small(self):
         result = run_experiment(

@@ -5,8 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.adversary.batched import BatchedFaultyProcess
+from repro.adversary.faulty_process import FaultSchedule
 from repro.errors import ConfigurationError
-from repro.parallel.aggregate import TrialAggregate, aggregate_records
+from repro.parallel.aggregate import TrialAggregate, aggregate_ensemble, aggregate_records
+from repro.parallel.ensemble import EnsembleSpec, run_ensemble
 from repro.parallel.runner import TrialRunner, run_trials
 from repro.parallel.seeding import trial_seed, trial_seeds
 from repro.rng import as_generator, as_seed_sequence, derive_substream, spawn_generators, spawn_seeds
@@ -69,6 +72,16 @@ class TestTrialSeeds:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             trial_seeds(0, -1)
+
+    def test_spawned_children_yield_independent_trial_streams(self):
+        """trial_seed folds the root's own spawn_key into the derivation,
+        so distinct spawned children of one ancestor do not alias."""
+        children = as_seed_sequence(7).spawn(2)
+        a = trial_seed(children[0], 3)
+        b = trial_seed(children[1], 3)
+        assert a.spawn_key != b.spawn_key
+        # and it still matches trial_seeds on the same (fresh) root
+        assert a.spawn_key == trial_seeds(children[0], 4)[3].spawn_key
         with pytest.raises(ConfigurationError):
             trial_seed(0, -1)
 
@@ -187,3 +200,52 @@ class TestAggregation:
         agg = aggregate_records(records)
         assert agg.n_trials == 8
         assert 0.0 <= agg.mean("value") <= 1.0
+
+
+class TestAggregateEnsembleEdgeCases:
+    def test_single_replica_ensemble(self):
+        """R = 1: every column is length-1 and summaries degrade gracefully."""
+        result = run_ensemble(
+            EnsembleSpec(n_bins=8, n_replicas=1, rounds=4),
+            seed=1,
+            engine="batched",
+            kernel="numpy",
+        )
+        agg = aggregate_ensemble(result)
+        assert agg.n_trials == 1
+        summary = agg.summary("window_max_load")
+        assert summary.count == 1
+        assert summary.std == 0.0
+        assert summary.minimum == summary.maximum == summary.mean
+
+    def test_faulty_run_with_empty_recovery_matrix(self):
+        """A never-faulting schedule yields a (0, R) recovery matrix."""
+        process = BatchedFaultyProcess(
+            8, 3, adversary="concentrate", schedule=FaultSchedule.never(),
+            seed=0, kernel="numpy",
+        )
+        outcome = process.run(4)
+        assert outcome.recovery_times.shape == (0, 3)
+        assert outcome.flat_recoveries().size == 0
+        assert outcome.max_recovery_time is None
+        assert not outcome.all_recovered
+        assert outcome.fault_count == 0
+        agg = aggregate_ensemble(outcome.to_ensemble_result())
+        assert agg.n_trials == 3
+        assert agg.column("rounds").tolist() == [4.0, 4.0, 4.0]
+
+    def test_never_converged_minus_one_propagates(self):
+        """first_legitimate_round == -1 survives aggregation and summaries."""
+        result = run_ensemble(
+            EnsembleSpec(n_bins=64, n_replicas=3, rounds=1, start="all_in_one"),
+            seed=2,
+            engine="batched",
+            kernel="numpy",
+        )
+        assert (result.first_legitimate_round == -1).all()
+        agg = aggregate_ensemble(result)
+        column = agg.column("first_legitimate_round")
+        assert column.tolist() == [-1.0, -1.0, -1.0]
+        assert agg.fraction_true("converged") == 0.0
+        summary = agg.summary("first_legitimate_round")
+        assert summary.mean == -1.0 and summary.maximum == -1.0

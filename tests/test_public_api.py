@@ -19,6 +19,8 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.analysis",
     "repro.parallel",
+    "repro.sweeps",
+    "repro.store",
     "repro.experiments",
 ]
 
@@ -59,6 +61,12 @@ MODULES = [
     "repro.parallel.seeding",
     "repro.parallel.runner",
     "repro.parallel.aggregate",
+    "repro.sweeps.spec",
+    "repro.sweeps.plan",
+    "repro.sweeps.scheduler",
+    "repro.sweeps.catalog",
+    "repro.store.store",
+    "repro.store.streaming",
     "repro.experiments.spec",
     "repro.experiments.tables",
     "repro.experiments.io",

@@ -1,0 +1,131 @@
+"""Acceptance tests: sweep resume determinism + streaming-aggregate accuracy.
+
+These encode the PR's acceptance criteria on a seeded 64-point grid:
+
+* running a sweep to completion vs. killing it midway and resuming yields
+  **byte-identical** store manifests and identical per-point summaries;
+* the streaming (Welford) aggregates stored in the manifest match a full
+  batch recompute from the replica shards to 1e-9.
+
+The grid is 64 tiny points (4 sizes x 2 ensemble sizes x 4 budgets x 2
+process families) so the whole file runs in a few seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.store import ResultStore, StreamingMoments
+from repro.store.store import METRICS
+from repro.sweeps import SweepSpec, expand_sweep, resume_sweep, run_sweep
+
+SEED = 20150613  # SPAA'15
+
+
+def grid64() -> SweepSpec:
+    return SweepSpec(
+        name="acceptance64",
+        base={"start": "random_uniform"},
+        grid={
+            "n_bins": [8, 16, 32, 64],
+            "n_replicas": [4, 6],
+            "rounds": [4, 8, 12, 16],
+            "process": ["rbb", "d_choices"],
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def full_store(tmp_path_factory):
+    """The uninterrupted reference run (shared across tests)."""
+    store_dir = tmp_path_factory.mktemp("sweep") / "full"
+    report = run_sweep(grid64(), store_dir, seed=SEED, kernel="numpy")
+    assert report.finished and report.n_run == 64
+    return ResultStore.open(store_dir)
+
+
+class TestResumeDeterminism:
+    @pytest.mark.parametrize("kill_after", [1, 23, 63])
+    def test_killed_and_resumed_matches_uninterrupted(
+        self, full_store, tmp_path, kill_after
+    ):
+        killed_dir = tmp_path / f"killed_{kill_after}"
+        partial = run_sweep(
+            grid64(), killed_dir, seed=SEED, kernel="numpy", max_points=kill_after
+        )
+        assert partial.n_run == kill_after and not partial.finished
+        resumed = resume_sweep(killed_dir)
+        assert resumed.finished
+        assert resumed.n_skipped == kill_after
+        assert resumed.n_run == 64 - kill_after
+
+        killed_store = ResultStore.open(killed_dir)
+        # byte-identical manifests: same points, same order, same numbers
+        assert killed_store.manifest_bytes() == full_store.manifest_bytes()
+        # identical headers and per-point summaries
+        assert killed_store.read_header() == full_store.read_header()
+        assert killed_store.records() == full_store.records()
+
+    def test_resume_after_finish_is_a_no_op(self, full_store):
+        before = full_store.manifest_bytes()
+        report = resume_sweep(full_store.directory)
+        assert report.n_run == 0 and report.n_skipped == 64
+        assert ResultStore.open(full_store.directory).manifest_bytes() == before
+
+
+class TestStreamingAccuracy:
+    def test_welford_matches_batch_recompute_to_1e9(self, full_store):
+        """Manifest moments vs. a full recompute from the shards (1e-9)."""
+        records = full_store.records()
+        assert len(records) == 64
+        for record in records:
+            vectors = full_store.replicas(record["point_id"])
+            for name in METRICS:
+                stored = StreamingMoments.from_dict(
+                    record["summary"]["metrics"][name]
+                )
+                data = vectors[name].astype(float)
+                assert stored.count == data.size
+                assert stored.mean == pytest.approx(data.mean(), abs=1e-9)
+                assert stored.variance() == pytest.approx(data.var(), abs=1e-9)
+                assert stored.variance(ddof=1) == pytest.approx(
+                    data.var(ddof=1), abs=1e-9
+                )
+                assert stored.minimum == data.min()
+                assert stored.maximum == data.max()
+
+    def test_merged_moments_match_concatenated_recompute(self, full_store):
+        """Cross-point merging (manifest only) vs. concatenating all shards."""
+        merged = full_store.summarize("window_max_load", process="rbb")
+        combined = np.concatenate(
+            [
+                full_store.replicas(r["point_id"])["window_max_load"]
+                for r in full_store.select(process="rbb").records
+            ]
+        ).astype(float)
+        assert merged.count == combined.size
+        assert merged.mean == pytest.approx(combined.mean(), abs=1e-9)
+        assert merged.variance() == pytest.approx(combined.var(), abs=1e-9)
+
+    def test_tail_histogram_is_exact(self, full_store):
+        tail = full_store.max_load_tail()
+        combined = np.concatenate(
+            [
+                full_store.replicas(r["point_id"])["window_max_load"]
+                for r in full_store.records()
+            ]
+        )
+        assert tail.total == combined.size
+        for k in range(int(combined.max()) + 2):
+            assert tail.tail(k) == int((combined >= k).sum())
+
+    def test_per_point_converged_fraction(self, full_store):
+        for record in full_store.records():
+            first = full_store.replicas(record["point_id"])[
+                "first_legitimate_round"
+            ]
+            expected = float((first >= 0).mean())
+            assert record["summary"]["converged_fraction"] == pytest.approx(
+                expected, abs=1e-12
+            )
