@@ -18,6 +18,13 @@ scale of ``R = 256`` replicas and ``n = 1024`` bins:
     injection segments the run between faults, so the native kernel's
     whole-window speedup carries over: at least 10x over per-trial
     sequential execution when the native kernel is available.
+``observed``
+    The plain process collecting per-round observed metrics
+    (``metrics="max_load,legitimacy"``) at an ``observe_every=16`` stride
+    through the unified observer layer.  The native kernel executes in
+    16-round segments between observation points, so observed batched
+    runs must retain at least 10x over plain per-trial sequential
+    execution.
 
 Run standalone::
 
@@ -55,6 +62,10 @@ NUMPY_TARGET = 1.2
 #: Batched Greedy[d] / adversarial ensembles must reach 10x as well.
 DCHOICES_TARGET = 10.0
 FAULTY_TARGET = 10.0
+#: Observed native runs (metrics collected every OBSERVE_EVERY rounds)
+#: must retain 10x over plain per-trial sequential execution.
+OBSERVED_TARGET = 10.0
+OBSERVE_EVERY = 16
 
 
 def _plain_spec() -> EnsembleSpec:
@@ -71,6 +82,17 @@ def _dchoices_spec() -> EnsembleSpec:
         start="balanced",
         process="d_choices",
         d=2,
+    )
+
+
+def _observed_spec() -> EnsembleSpec:
+    return EnsembleSpec(
+        n_bins=N_BINS,
+        n_replicas=N_REPLICAS,
+        rounds=ROUNDS,
+        start="balanced",
+        metrics="max_load,legitimacy",
+        observe_every=OBSERVE_EVERY,
     )
 
 
@@ -106,6 +128,12 @@ def measure() -> Dict[str, float]:
         timings["batched_native_s"] = _timed(plain, "batched", kernel="native")
         timings["native_speedup"] = (
             timings["sequential_s"] / timings["batched_native_s"]
+        )
+        timings["observed_native_s"] = _timed(
+            _observed_spec(), "batched", kernel="native"
+        )
+        timings["observed_speedup"] = (
+            timings["sequential_s"] / timings["observed_native_s"]
         )
 
     dchoices = _dchoices_spec()
@@ -145,6 +173,10 @@ def test_batched_engine_speedup():
         f"native batched kernel below the {NATIVE_TARGET}x target: "
         f"{timings['native_speedup']:.2f}x"
     )
+    assert timings["observed_speedup"] >= OBSERVED_TARGET, (
+        f"observed native run (observe_every={OBSERVE_EVERY}) below the "
+        f"{OBSERVED_TARGET}x target: {timings['observed_speedup']:.2f}x"
+    )
     assert timings["faulty_speedup"] >= FAULTY_TARGET, (
         f"batched adversarial ensemble below the {FAULTY_TARGET}x target: "
         f"{timings['faulty_speedup']:.2f}x"
@@ -182,6 +214,14 @@ def main() -> int:
                 timings["batched_native_s"],
                 ROUNDS,
                 timings["native_speedup"],
+            )
+        )
+        rows.append(
+            (
+                f"observed/{OBSERVE_EVERY} / batched native",
+                timings["observed_native_s"],
+                ROUNDS,
+                timings["observed_speedup"],
             )
         )
     rows += [
@@ -226,6 +266,11 @@ def main() -> int:
             failures.append(
                 f"plain native kernel speedup {timings['native_speedup']:.2f}x "
                 f"< {NATIVE_TARGET}x target"
+            )
+        if timings["observed_speedup"] < OBSERVED_TARGET:
+            failures.append(
+                f"observed native run (observe_every={OBSERVE_EVERY}) speedup "
+                f"{timings['observed_speedup']:.2f}x < {OBSERVED_TARGET}x target"
             )
         if timings["faulty_speedup"] < FAULTY_TARGET:
             failures.append(

@@ -66,6 +66,17 @@ from .errors import (
 from .experiments import available_experiments, format_table, run_experiment
 from .graphs import ConstrainedParallelWalks, Topology, complete_graph, cycle_graph
 from .markov import BinLoadChain, FiniteMarkovChain, absorption_tail_bound
+from .metrics import (
+    METRIC_NAMES,
+    BatchedBinEmptyingTracker,
+    BatchedEmptyBinsTracker,
+    BatchedLegitimacyTracker,
+    BatchedLoadHistogramTracker,
+    BatchedMaxLoadTracker,
+    BatchedObserverList,
+    BatchedTraceRecorder,
+    MetricPayload,
+)
 from .parallel import EnsembleSpec, run_ensemble
 from .rng import as_generator, spawn_generators
 from .store import PointTable, ResultStore, StreamingMoments, TailCounter
@@ -101,6 +112,16 @@ __all__ = [
     "MaxLoadTracker",
     "EmptyBinsTracker",
     "LegitimacyTracker",
+    # metrics (unified observation layer)
+    "METRIC_NAMES",
+    "MetricPayload",
+    "BatchedObserverList",
+    "BatchedMaxLoadTracker",
+    "BatchedEmptyBinsTracker",
+    "BatchedLegitimacyTracker",
+    "BatchedLoadHistogramTracker",
+    "BatchedTraceRecorder",
+    "BatchedBinEmptyingTracker",
     # markov
     "FiniteMarkovChain",
     "BinLoadChain",

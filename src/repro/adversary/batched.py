@@ -34,6 +34,7 @@ from ..core.batched import (
 )
 from ..core.config import DEFAULT_BETA, LoadConfiguration
 from ..errors import ConfigurationError
+from ..metrics.base import BatchedObserverList
 from ..rng import as_seed_sequence
 from ..types import SeedLike
 
@@ -142,7 +143,12 @@ class BatchedFaultyProcess:
         schedule.
     n_balls, initial, seed, kernel:
         Forwarded to :class:`~repro.core.batched.BatchedRepeatedBallsIntoBins`
-        (``seed`` also feeds the adversary's own stream).
+        (``seed`` also feeds the adversary's own stream).  Passing an
+        existing :class:`numpy.random.Generator` makes the adversary and
+        the process share that one stream — the convention of the
+        sequential :class:`~repro.adversary.faulty_process.FaultyProcess`,
+        which (with the numpy kernel, ``R == 1`` and a deterministic-draw
+        adversary) makes the two fault injectors stream-compatible.
     process:
         Optional pre-built batched process to attack instead of a fresh
         :class:`BatchedRepeatedBallsIntoBins` — any
@@ -164,8 +170,13 @@ class BatchedFaultyProcess:
         kernel: str = "auto",
         process: Optional[BatchedLoadProcess] = None,
     ) -> None:
-        adversary_seq, process_seq = as_seed_sequence(seed).spawn(2)
-        self._rng = np.random.default_rng(adversary_seq)
+        if isinstance(seed, np.random.Generator):
+            # one shared stream for adversary and process, as in FaultyProcess
+            self._rng = seed
+            process_seq: SeedLike = seed
+        else:
+            adversary_seq, process_seq = as_seed_sequence(seed).spawn(2)
+            self._rng = np.random.default_rng(adversary_seq)
         if process is not None:
             if n_balls is not None or initial is not None:
                 raise ConfigurationError(
@@ -233,7 +244,13 @@ class BatchedFaultyProcess:
         return self._process.n_replicas
 
     # ------------------------------------------------------------------
-    def run(self, rounds: int, beta: float = DEFAULT_BETA) -> BatchedFaultyResult:
+    def run(
+        self,
+        rounds: int,
+        beta: float = DEFAULT_BETA,
+        observers=None,
+        observe_every: int = 1,
+    ) -> BatchedFaultyResult:
         """Simulate ``rounds`` rounds with fault injection.
 
         In a faulty round the adversary reassigns every replica's
@@ -242,9 +259,16 @@ class BatchedFaultyProcess:
         as in :meth:`FaultyProcess.run`.  Rounds between consecutive faults
         execute as one engine call, so the native kernel's whole-window FFI
         speedup carries over to adversarial ensembles.
+
+        ``observers`` / ``observe_every`` are forwarded to every segment's
+        engine call (see :meth:`BatchedLoadProcess.run`); observers see
+        post-step configurations only (not the injected pre-step states),
+        with round indexes counted on the wrapped process' global clock,
+        and the observation stride restarts at each fault.
         """
         if rounds < 0:
             raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        obs = BatchedObserverList.coerce(observers)
         process = self._process
         R = process.n_replicas
         fault_rounds = [
@@ -261,7 +285,9 @@ class BatchedFaultyProcess:
             if length <= 0:
                 return
             offset = process.rounds_completed
-            result = process.run(length, beta=beta)
+            result = process.run(
+                length, beta=beta, observers=obs, observe_every=observe_every
+            )
             kernels.add(result.kernel)
             np.maximum(max_seen, result.max_load_seen, out=max_seen)
             np.minimum(

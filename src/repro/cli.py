@@ -151,6 +151,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after newly running this many points (resume later)",
     )
+    sweep_run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "observed metrics collected at every point, as comma-separated "
+            "tracker names (e.g. max_load,legitimacy); per-replica "
+            "series/summaries land in the point shards and streaming "
+            "summaries in the manifest"
+        ),
+    )
+    sweep_run.add_argument(
+        "--observe-every",
+        type=int,
+        default=None,
+        metavar="STRIDE",
+        help=(
+            "observation stride for --metrics (default 1); the native "
+            "kernel runs in segments of this length between observations"
+        ),
+    )
 
     sweep_resume = sweep_sub.add_parser(
         "resume",
@@ -327,11 +348,32 @@ def _cmd_sweep_list() -> int:
     return 0
 
 
+def _with_observation(spec, metrics: Optional[str], observe_every: Optional[int]):
+    """Fold the CLI observation flags into a sweep spec's shared base.
+
+    The modified spec is what gets pinned into the store header, so a
+    ``repro sweep resume`` keeps collecting the same observed metrics
+    without the flags being repeated.
+    """
+    if metrics is None and observe_every is None:
+        return spec
+    import dataclasses
+
+    base = dict(spec.base)
+    if metrics is not None:
+        base["metrics"] = metrics
+    if observe_every is not None:
+        base["observe_every"] = observe_every
+    return dataclasses.replace(spec, base=base)
+
+
 def _cmd_sweep_run(args: argparse.Namespace) -> int:
     from .store import ResultStore
     from .sweeps import run_sweep
 
-    spec = _load_sweep_spec(args)
+    spec = _with_observation(
+        _load_sweep_spec(args), args.metrics, args.observe_every
+    )
     store_dir = Path(args.store)
     if (store_dir / ResultStore.HEADER_NAME).exists():
         raise ReproError(

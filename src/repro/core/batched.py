@@ -65,6 +65,9 @@ import numpy as np
 from .config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
 from .native import get_kernel, native_status
 from ..errors import ConfigurationError, SimulationError
+from ..metrics.base import BatchedObserverList
+from ..metrics.payload import MetricPayload, concatenate_payload_maps
+from ..metrics.window import run_window
 from ..rng import as_seed_sequence
 from ..types import SeedLike
 
@@ -177,6 +180,10 @@ class EnsembleResult:
     first_legitimate_round:
         Per-replica global round index of the first legitimate configuration
         observed, or ``-1`` if none was seen.
+    metrics:
+        Observed metric payloads keyed by metric name (see
+        :mod:`repro.metrics`), populated when observers were attached via
+        the ensemble layer's ``metrics=`` selection; empty otherwise.
     """
 
     n_bins: int
@@ -187,6 +194,7 @@ class EnsembleResult:
     first_legitimate_round: np.ndarray
     beta: float = field(default=DEFAULT_BETA)
     kernel: str = "numpy"
+    metrics: Dict[str, MetricPayload] = field(default_factory=dict)
 
     @property
     def n_replicas(self) -> int:
@@ -265,6 +273,7 @@ class EnsembleResult:
             ),
             beta=head.beta,
             kernel=kernels.pop() if len(kernels) == 1 else "mixed",
+            metrics=concatenate_payload_maps([r.metrics for r in results]),
         )
 
     def describe(self) -> Dict[str, float]:
@@ -319,6 +328,8 @@ class BatchedProcess(Protocol):
         rounds: int,
         beta: float = DEFAULT_BETA,
         stop_when_legitimate: bool = False,
+        observers=None,
+        observe_every: int = 1,
     ) -> EnsembleResult: ...
 
 
@@ -494,11 +505,17 @@ class BatchedLoadProcess:
         self._rounds_done += self._active
         return self.loads
 
+    def deactivate(self, mask: np.ndarray) -> None:
+        """Freeze the replicas selected by a boolean mask."""
+        self._active[np.asarray(mask, dtype=bool)] = False
+
     def run(
         self,
         rounds: int,
         beta: float = DEFAULT_BETA,
         stop_when_legitimate: bool = False,
+        observers=None,
+        observe_every: int = 1,
     ) -> EnsembleResult:
         """Simulate up to ``rounds`` rounds for every active replica.
 
@@ -513,9 +530,25 @@ class BatchedLoadProcess:
             Freeze each replica as soon as it reaches a legitimate
             configuration (checked before the first round too, mirroring
             :meth:`RepeatedBallsIntoBins.run_until_legitimate`).
+        observers:
+            ``None``, a single batched observer/callable, or a sequence of
+            them (see :mod:`repro.metrics`); each sees
+            ``(round_index, loads)`` with the current ``(R, n)`` state.
+        observe_every:
+            Observation stride: observers fire every ``observe_every``
+            executed rounds (and after the final executed round).  The
+            native kernel runs in segments of this length between
+            observation points, so its whole-window speedup survives at
+            reasonable strides; the returned window metrics remain exact
+            over every simulated round regardless of the stride.
         """
         if rounds < 0:
             raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        if observe_every < 1:
+            raise ConfigurationError(
+                f"observe_every must be >= 1, got {observe_every}"
+            )
+        obs = BatchedObserverList.coerce(observers)
         threshold = legitimacy_threshold(self._n_bins, beta)
         R = self._n_replicas
         first_legit = np.full(R, -1, dtype=np.int64)
@@ -526,13 +559,15 @@ class BatchedLoadProcess:
 
         start_rounds = self._rounds_done.copy()
         max_seen, min_empty, used = self._run_window(
-            rounds, threshold, stop_when_legitimate, first_legit
+            rounds, threshold, stop_when_legitimate, first_legit, obs, observe_every
         )
 
         executed = self._rounds_done - start_rounds
         idle = executed == 0
         if idle.any():
-            max_seen[idle] = 0
+            # replicas that executed no round report their *observed*
+            # current configuration, not zeros
+            max_seen[idle] = self.max_load[idle]
             min_empty[idle] = self.num_empty_bins[idle]
         self._check_conservation()
         return EnsembleResult(
@@ -546,25 +581,25 @@ class BatchedLoadProcess:
             kernel=used,
         )
 
-    def _run_window(self, rounds, threshold, stop_when_legitimate, first_legit):
-        """Reference window loop; returns ``(max_seen, min_empty, kernel)``."""
-        R, n = self._n_replicas, self._n_bins
-        max_seen = np.zeros(R, dtype=np.int64)
-        min_empty = np.full(R, n, dtype=np.int64)
-        for _ in range(rounds):
-            stepped = self._active.copy()
-            if not stepped.any():
-                break
-            self.step()
-            current_max = self._loads.max(axis=1)
-            current_empty = (self._loads == 0).sum(axis=1)
-            np.maximum(max_seen, current_max, out=max_seen, where=stepped)
-            np.minimum(min_empty, current_empty, out=min_empty, where=stepped)
-            newly = stepped & (first_legit < 0) & (current_max <= threshold)
-            if newly.any():
-                first_legit[newly] = self._rounds_done[newly]
-                if stop_when_legitimate:
-                    self._active[newly] = False
+    def _run_window(
+        self, rounds, threshold, stop_when_legitimate, first_legit, observers,
+        observe_every,
+    ):
+        """Reference window loop; returns ``(max_seen, min_empty, kernel)``.
+
+        Delegates to the shared implementation in
+        :func:`repro.metrics.window.run_window` — the same loop the
+        sequential ensemble engine runs through its ``R == 1`` view.
+        """
+        max_seen, min_empty, _, _ = run_window(
+            self,
+            rounds,
+            threshold,
+            stop_when_legitimate=stop_when_legitimate,
+            first_legit=first_legit,
+            observers=observers,
+            observe_every=observe_every,
+        )
         return max_seen, min_empty, self.kernel_name
 
     # ------------------------------------------------------------------
@@ -716,7 +751,10 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
                 self._rng, self._row_base, counts, self._n_replicas, self._n_bins
             )
 
-    def _run_window(self, rounds, threshold, stop_when_legitimate, first_legit):
+    def _run_window(
+        self, rounds, threshold, stop_when_legitimate, first_legit, observers,
+        observe_every,
+    ):
         kernel = get_kernel() if self._kernel in ("auto", "native") else None
         if kernel is not None and not self._native_supported():
             if self._kernel == "native":
@@ -728,11 +766,32 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
             kernel = None
         if kernel is None:
             return super()._run_window(
-                rounds, threshold, stop_when_legitimate, first_legit
+                rounds, threshold, stop_when_legitimate, first_legit, observers,
+                observe_every,
             )
-        max_seen, min_empty = self._run_native(
-            kernel, rounds, threshold, stop_when_legitimate, first_legit
-        )
+        if observers is None or observers.is_empty:
+            max_seen, min_empty = self._run_native(
+                kernel, rounds, threshold, stop_when_legitimate, first_legit
+            )
+            return max_seen, min_empty, "native"
+        # Observed native run: the kernel advances `observe_every` rounds
+        # per FFI call and observers see the state between segments.  The
+        # per-replica xoshiro streams consume randomness round by round, so
+        # a segmented run follows the exact same trajectory as a
+        # whole-window one.
+        R, n = self._n_replicas, self._n_bins
+        max_seen = np.zeros(R, dtype=np.int64)
+        min_empty = np.full(R, n, dtype=np.int64)
+        done = 0
+        while done < rounds and self._active.any():
+            segment = min(observe_every, rounds - done)
+            seg_max, seg_min = self._run_native(
+                kernel, segment, threshold, stop_when_legitimate, first_legit
+            )
+            np.maximum(max_seen, seg_max, out=max_seen)
+            np.minimum(min_empty, seg_min, out=min_empty)
+            done += segment
+            observers.observe(int(self._rounds_done.max()), self.loads)
         return max_seen, min_empty, "native"
 
     # ------------------------------------------------------------------

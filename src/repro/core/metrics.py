@@ -27,6 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from .config import DEFAULT_BETA, legitimacy_threshold
+from ..metrics.base import check_trace_budget, resolve_trace_budget
 from ..types import LoadVector
 
 __all__ = [
@@ -196,18 +197,29 @@ class TraceRecorder:
     """Record a full copy of the load vector every ``stride`` rounds.
 
     Only suitable for small runs (memory is ``O(rounds/stride * n)``); the
-    examples and a handful of tests use it, the benchmarks do not.
+    examples and a handful of tests use it, the benchmarks do not.  A
+    configurable element budget (``max_elements``, default
+    :data:`~repro.metrics.base.TRACE_ELEMENT_BUDGET`) turns what would be
+    silent RAM exhaustion on million-round runs into a clear
+    :class:`~repro.errors.ConfigurationError`.
     """
 
-    def __init__(self, stride: int = 1) -> None:
+    def __init__(self, stride: int = 1, max_elements: Optional[int] = None) -> None:
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
         self.stride = stride
+        self.max_elements = resolve_trace_budget(max_elements)
         self.rounds: List[int] = []
         self.snapshots: List[np.ndarray] = []
 
     def observe(self, round_index: int, loads: LoadVector) -> None:
         if round_index % self.stride == 0:
+            check_trace_budget(
+                len(self.snapshots) * int(loads.size),
+                int(loads.size),
+                self.max_elements,
+                f"TraceRecorder(stride={self.stride})",
+            )
             self.rounds.append(round_index)
             self.snapshots.append(np.array(loads, dtype=np.int64, copy=True))
 

@@ -260,6 +260,31 @@ class RepeatedBallsIntoBins:
     # ------------------------------------------------------------------
     # Utilities
     # ------------------------------------------------------------------
+    def inject_loads(self, loads: Union[LoadConfiguration, np.ndarray]) -> None:
+        """Replace the current loads with a ball-conserving configuration.
+
+        The single-replica counterpart of
+        :meth:`~repro.core.batched.BatchedLoadProcess.inject_loads` — the
+        Section 4.1 fault hook: an adversary may reassign balls arbitrarily
+        *between* rounds but may not create or destroy them.  Unlike
+        :meth:`reset`, the round counter keeps running.
+        """
+        config = (
+            loads
+            if isinstance(loads, LoadConfiguration)
+            else LoadConfiguration(np.asarray(loads))
+        )
+        if config.n_bins != self._n_bins:
+            raise ConfigurationError(
+                f"injected configuration has {config.n_bins} bins, expected {self._n_bins}"
+            )
+        if config.n_balls != self._n_balls:
+            raise ConfigurationError(
+                f"injected loads do not conserve balls: expected "
+                f"{self._n_balls}, got {config.n_balls}"
+            )
+        self._loads = config.as_array()
+
     def reset(self, initial: Union[LoadConfiguration, np.ndarray, None] = None) -> None:
         """Reset to ``initial`` (or the balanced start) and zero the round counter.
 

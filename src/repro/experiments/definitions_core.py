@@ -147,6 +147,12 @@ def run_e3_empty_bins(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Exp
     trials = params["trials"]
     rounds_factor = params["rounds_factor"]
     engine = params["engine"]
+    # observation cadence for the empty-bins series: min_empty (the Lemma 2
+    # event) stays engine-exact at any stride, so the default thins the
+    # auxiliary mean_empty_fraction series rather than segmenting the
+    # native kernel every round; -p observe_every=1 makes the mean exactly
+    # per-round
+    observe_every = int(params.get("observe_every", 4))
 
     starts = ["balanced", "all_in_one"]
     seed_children = as_seed_sequence(seed).spawn(len(sizes) * len(starts))
@@ -163,6 +169,11 @@ def run_e3_empty_bins(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Exp
                     rounds=rounds - 1,
                     start=start_name,
                     warmup_rounds=1,
+                    # observe the empty-bin trajectory through the unified
+                    # metrics layer (both engines attach the same tracker),
+                    # not just the window minimum
+                    metrics="empty_bins",
+                    observe_every=observe_every,
                 ),
                 seed=seed_children[point],
                 engine=engine,
@@ -173,6 +184,7 @@ def run_e3_empty_bins(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Exp
             successes = int(np.count_nonzero(min_empty >= empty_bins_lower_bound(n)))
             summary = summarize_trials(min_fractions)
             p_hat, p_low, _ = empirical_whp_probability(successes, trials)
+            series = ensemble.metrics["empty_bins"].series["empty_bins"]
             result.add_row(
                 n=n,
                 start=start_name,
@@ -180,6 +192,7 @@ def run_e3_empty_bins(spec: ExperimentSpec, params: Dict[str, Any], seed) -> Exp
                 trials=trials,
                 mean_min_empty_fraction=summary.mean,
                 worst_min_empty_fraction=summary.minimum,
+                mean_empty_fraction=float(series.mean() / n) if series.size else None,
                 frac_trials_above_quarter=p_hat,
                 frac_trials_above_quarter_ci_low=p_low,
             )

@@ -103,6 +103,7 @@ register(
             "trials": 10,
             "rounds_factor": 4.0,
             "engine": "batched",
+            "observe_every": 4,
         },
         expected_shape="worst per-trial empty fraction stays above 0.25",
     ),

@@ -1,0 +1,112 @@
+"""Adapters feeding the store's streaming reducers straight from the engine.
+
+The result store summarizes every sweep point with
+:class:`~repro.store.streaming.StreamingMoments` (Welford/Chan moments)
+and :class:`~repro.store.streaming.TailCounter` (exact integer tails).
+These adapters close the loop in the other direction:
+
+* :class:`StreamingMomentsObserver` is a batched observer that folds a
+  per-round, per-replica scalar (max load, empty-bin count, or a custom
+  reduction) into a ``StreamingMoments`` — and optionally a
+  ``TailCounter`` — *while the engine runs*, with ``O(1)`` state.  A
+  million-round trajectory can be summarized without ever materializing a
+  series.
+* :func:`summarize_payloads` turns the per-replica summary vectors of
+  observed :class:`~repro.metrics.payload.MetricPayload` objects into the
+  manifest-ready nested-moments dict the store records, folding replicas
+  in bounded chunks.  This is how sweeps summarize observed metrics inline
+  at write time instead of re-reading replica shards at query time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Union
+
+import numpy as np
+
+from .base import as_load_matrix
+from .payload import MetricPayload
+from ..errors import ConfigurationError
+from ..store.streaming import StreamingMoments, TailCounter
+
+__all__ = ["StreamingMomentsObserver", "summarize_payloads", "REPLICA_CHUNK"]
+
+#: Replicas are folded into streaming summaries in chunks of this size.
+REPLICA_CHUNK = 1024
+
+#: Built-in per-round reductions: ``(R, n)`` loads -> ``(R,)`` values.
+_REDUCERS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "max_load": lambda matrix: matrix.max(axis=1),
+    "empty_bins": lambda matrix: (matrix == 0).sum(axis=1),
+}
+
+
+class StreamingMomentsObserver:
+    """Fold a per-round scalar reduction into streaming accumulators.
+
+    Parameters
+    ----------
+    reduce:
+        ``"max_load"``, ``"empty_bins"``, or a callable mapping the
+        ``(R, n)`` load matrix to a ``(R,)`` value vector.
+    tail:
+        Also maintain an exact :class:`TailCounter` histogram of the
+        (integer) values, for tail-probability queries.
+
+    >>> obs = StreamingMomentsObserver("max_load", tail=True)
+    >>> obs.observe(1, np.array([[2, 0], [1, 1]]))
+    >>> obs.observe(2, np.array([[3, 0], [1, 1]]))
+    >>> obs.moments.count, obs.moments.maximum
+    (4, 3.0)
+    >>> obs.tail.tail(2)
+    2
+    """
+
+    def __init__(
+        self,
+        reduce: Union[str, Callable[[np.ndarray], np.ndarray]] = "max_load",
+        tail: bool = False,
+    ) -> None:
+        if callable(reduce):
+            self._reduce = reduce
+            self.reduction = getattr(reduce, "__name__", "custom")
+        elif reduce in _REDUCERS:
+            self._reduce = _REDUCERS[reduce]
+            self.reduction = reduce
+        else:
+            raise ConfigurationError(
+                f"unknown reduction {reduce!r}; expected a callable or one of "
+                f"{', '.join(_REDUCERS)}"
+            )
+        self.moments = StreamingMoments()
+        self.tail = TailCounter() if tail else None
+
+    def observe(self, round_index: int, loads) -> None:
+        values = np.asarray(self._reduce(as_load_matrix(loads)))
+        self.moments.update(values)
+        if self.tail is not None:
+            self.tail.update(values)
+
+
+def summarize_payloads(
+    metrics: Mapping[str, MetricPayload],
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Manifest-ready streaming summary of observed metric payloads.
+
+    For every payload summary vector, the per-replica values are folded
+    chunk-by-chunk into a :class:`StreamingMoments`, whose dict encoding is
+    what :class:`~repro.store.store.ResultStore` writes into the manifest —
+    so store queries over observed metrics never touch replica shards.
+    """
+    summary: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in sorted(metrics):
+        payload = metrics[name]
+        entry: Dict[str, Dict[str, float]] = {}
+        for key in sorted(payload.summaries):
+            vector = np.asarray(payload.summaries[key], dtype=float)
+            moments = StreamingMoments()
+            for lo in range(0, vector.size, REPLICA_CHUNK):
+                moments.update(vector[lo : lo + REPLICA_CHUNK])
+            entry[key] = moments.to_dict()
+        summary[name] = entry
+    return summary

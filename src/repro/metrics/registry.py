@@ -1,0 +1,89 @@
+"""Named metrics: validated names the ensemble layer can request.
+
+The ``metrics=`` field of :class:`~repro.parallel.ensemble.EnsembleSpec`
+(and therefore sweep specs and the CLI) refers to trackers by name.  Names
+are validated here at spec-construction time, so a typo fails before
+anything runs, and the accepted spelling — a comma-separated string — is a
+JSON scalar, which lets sweeps serialize metric selections through store
+headers and manifest configs unchanged.
+
+>>> normalize_metric_names("max_load, legitimacy")
+('max_load', 'legitimacy')
+>>> [name for name, _ in build_trackers(("empty_bins",))]
+['empty_bins']
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from .trackers import (
+    BatchedBinEmptyingTracker,
+    BatchedEmptyBinsTracker,
+    BatchedLegitimacyTracker,
+    BatchedLoadHistogramTracker,
+    BatchedMaxLoadTracker,
+    BatchedTraceRecorder,
+)
+from ..core.config import DEFAULT_BETA
+from ..errors import ConfigurationError
+
+__all__ = ["METRIC_NAMES", "normalize_metric_names", "make_tracker", "build_trackers"]
+
+_FACTORIES: Dict[str, Callable[[float], object]] = {
+    "max_load": lambda beta: BatchedMaxLoadTracker(),
+    "empty_bins": lambda beta: BatchedEmptyBinsTracker(),
+    "legitimacy": lambda beta: BatchedLegitimacyTracker(beta=beta),
+    "histogram": lambda beta: BatchedLoadHistogramTracker(),
+    "trace": lambda beta: BatchedTraceRecorder(),
+    "bin_emptying": lambda beta: BatchedBinEmptyingTracker(),
+}
+
+#: Metric names accepted by ``EnsembleSpec.metrics`` and the CLI.
+METRIC_NAMES: Tuple[str, ...] = tuple(_FACTORIES)
+
+MetricsLike = Union[None, str, Sequence[str]]
+
+
+def normalize_metric_names(metrics: MetricsLike) -> Tuple[str, ...]:
+    """Validate a metric selection and normalize it to a tuple of names.
+
+    Accepts ``None`` / an empty value, a comma-separated string (the
+    JSON-scalar spelling sweeps use), or a sequence of names.  Unknown
+    names and duplicates are rejected.
+    """
+    if metrics is None:
+        return ()
+    if isinstance(metrics, str):
+        names = [token.strip() for token in metrics.split(",") if token.strip()]
+    else:
+        names = [str(token).strip() for token in metrics]
+    seen = set()
+    for name in names:
+        if name not in _FACTORIES:
+            raise ConfigurationError(
+                f"unknown metric {name!r}; available: {', '.join(METRIC_NAMES)}"
+            )
+        if name in seen:
+            raise ConfigurationError(f"metric {name!r} requested twice")
+        seen.add(name)
+    return tuple(names)
+
+
+def make_tracker(name: str, beta: float = DEFAULT_BETA):
+    """Build one named batched tracker."""
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown metric {name!r}; available: {', '.join(METRIC_NAMES)}"
+        )
+    return _FACTORIES[name](beta)
+
+
+def build_trackers(
+    metrics: MetricsLike, beta: float = DEFAULT_BETA
+) -> List[Tuple[str, object]]:
+    """Build ``(name, tracker)`` pairs for a validated metric selection."""
+    return [
+        (name, make_tracker(name, beta=beta))
+        for name in normalize_metric_names(metrics)
+    ]

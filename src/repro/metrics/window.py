@@ -1,0 +1,199 @@
+"""The shared window-metric run loop.
+
+Before this module existed, the same per-round reduction — running max
+load, running min empty-bin count, first legitimate round, optional
+per-replica early stop — was hand-rolled three times: in the sequential
+ensemble engine's ``_window_record``, in the batched reference loop of
+:class:`~repro.core.batched.BatchedLoadProcess`, and (specialized) in the
+streaming store reducers.  :func:`run_window` is now the single
+implementation; the batched processes call it directly and the sequential
+engine calls it through :class:`SingleReplicaView`, the ``R == 1`` adapter
+that presents a sequential simulator as a batched one.
+
+The loop also drives observers: every ``observe_every`` executed rounds
+(and after the final executed round) the attached
+:class:`~repro.metrics.base.BatchedObserverList` sees
+``(round_index, loads)`` with the engine's current ``(R, n)`` state, where
+``round_index`` is the global round counter of the most-advanced replica.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import BatchedObserverList
+from ..core.config import DEFAULT_BETA, legitimacy_threshold
+from ..errors import ConfigurationError
+
+__all__ = ["run_window", "run_replica_window", "SingleReplicaView"]
+
+
+class SingleReplicaView:
+    """Adapt a sequential load process to the ``(1, n)`` batched-run surface.
+
+    Works for any simulator exposing ``step() -> loads``, ``loads``,
+    ``n_bins`` and ``round_index`` (``RepeatedBallsIntoBins``,
+    ``DChoicesProcess``, ...).  The view owns the single replica's activity
+    flag, so the shared loop's early-stop freezing applies to sequential
+    runs too.
+    """
+
+    def __init__(self, process) -> None:
+        self._process = process
+        self._active = np.ones(1, dtype=bool)
+
+    @property
+    def process(self):
+        return self._process
+
+    @property
+    def n_bins(self) -> int:
+        return int(self._process.n_bins)
+
+    @property
+    def n_replicas(self) -> int:
+        return 1
+
+    @property
+    def loads(self) -> np.ndarray:
+        return np.asarray(self._process.loads).reshape(1, -1)
+
+    @property
+    def rounds_completed(self) -> np.ndarray:
+        return np.asarray([self._process.round_index], dtype=np.int64)
+
+    @property
+    def active(self) -> np.ndarray:
+        return self._active.copy()
+
+    def step(self) -> np.ndarray:
+        if self._active[0]:
+            self._process.step()
+        return self.loads
+
+    def deactivate(self, mask) -> None:
+        self._active[np.asarray(mask, dtype=bool)] = False
+
+
+def run_window(
+    process,
+    rounds: int,
+    threshold: float,
+    stop_when_legitimate: bool = False,
+    first_legit: Optional[np.ndarray] = None,
+    observers=None,
+    observe_every: int = 1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Advance ``process`` up to ``rounds`` rounds, reducing window metrics.
+
+    ``process`` exposes the batched stepping surface (``step``, ``loads``,
+    ``active``, ``rounds_completed``, ``deactivate``); use
+    :class:`SingleReplicaView` for sequential simulators.  ``first_legit``
+    may be a pre-seeded ``(R,)`` vector (the batched pre-check writes into
+    it); it is updated in place.
+
+    Returns ``(max_seen, min_empty, first_legit, executed)`` where the
+    first two are per-replica reductions over the rounds each replica
+    actually executed and ``executed`` counts loop iterations (rounds in
+    which at least one replica stepped).
+    """
+    if rounds < 0:
+        raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+    if observe_every < 1:
+        raise ConfigurationError(
+            f"observe_every must be >= 1, got {observe_every}"
+        )
+    obs = BatchedObserverList.coerce(observers)
+    R, n = process.n_replicas, process.n_bins
+    if first_legit is None:
+        first_legit = np.full(R, -1, dtype=np.int64)
+    max_seen = np.zeros(R, dtype=np.int64)
+    min_empty = np.full(R, n, dtype=np.int64)
+    executed = 0
+    for _ in range(rounds):
+        stepped = process.active
+        if not stepped.any():
+            break
+        loads = process.step()
+        executed += 1
+        current_max = loads.max(axis=1)
+        current_empty = (loads == 0).sum(axis=1)
+        np.maximum(max_seen, current_max, out=max_seen, where=stepped)
+        np.minimum(min_empty, current_empty, out=min_empty, where=stepped)
+        newly = stepped & (first_legit < 0) & (current_max <= threshold)
+        if newly.any():
+            first_legit[newly] = process.rounds_completed[newly]
+            if stop_when_legitimate:
+                process.deactivate(newly)
+        if not obs.is_empty and (
+            executed % observe_every == 0
+            or executed == rounds
+            or not process.active.any()
+        ):
+            obs.observe(int(process.rounds_completed.max()), loads)
+    return max_seen, min_empty, first_legit, executed
+
+
+def run_replica_window(
+    process,
+    rounds: int,
+    beta: float = DEFAULT_BETA,
+    stop_when_legitimate: bool = False,
+    warmup_rounds: int = 0,
+    observers=None,
+    observe_every: int = 1,
+) -> dict:
+    """Window record of one sequential replica through the shared loop.
+
+    This is what one trial of the sequential ensemble engine runs; the
+    returned dict matches the per-trial record schema
+    (``rounds`` / ``window_max_load`` / ``min_empty_bins`` /
+    ``first_legitimate_round`` / ``final_loads``).
+
+    Mirroring ``run_until_legitimate``, a ``stop_when_legitimate`` run
+    whose post-warmup configuration is already legitimate executes zero
+    rounds — and reports the *observed* current max load and empty-bin
+    count (not zeros) for its window metrics.
+    """
+    if warmup_rounds < 0:
+        raise ConfigurationError(
+            f"warmup_rounds must be >= 0, got {warmup_rounds}"
+        )
+    threshold = legitimacy_threshold(process.n_bins, beta)
+    for _ in range(warmup_rounds):
+        process.step()
+
+    def current_record() -> dict:
+        loads = np.asarray(process.loads)
+        return {
+            "rounds": 0,
+            "window_max_load": int(loads.max()),
+            "min_empty_bins": int(np.count_nonzero(loads == 0)),
+            "first_legitimate_round": int(process.round_index),
+            "final_loads": np.array(loads, copy=True),
+        }
+
+    if stop_when_legitimate and int(np.asarray(process.loads).max()) <= threshold:
+        return current_record()
+    view = SingleReplicaView(process)
+    max_seen, min_empty, first_legit, executed = run_window(
+        view,
+        rounds,
+        threshold,
+        stop_when_legitimate=stop_when_legitimate,
+        observers=observers,
+        observe_every=observe_every,
+    )
+    if executed == 0:
+        record = current_record()
+        record["first_legitimate_round"] = -1
+        return record
+    return {
+        "rounds": executed,
+        "window_max_load": int(max_seen[0]),
+        "min_empty_bins": int(min_empty[0]),
+        "first_legitimate_round": int(first_legit[0]),
+        "final_loads": np.array(process.loads, copy=True),
+    }

@@ -94,14 +94,24 @@ def aggregate_ensemble(result: EnsembleResult) -> TrialAggregate:
     records produced by the sequential ensemble engine, so summaries are
     comparable across engines.  ``first_legitimate_round`` keeps the ``-1``
     sentinel for replicas that never converged (filter on ``converged``).
+
+    Observed metric payloads (``result.metrics``, collected when the spec
+    requested ``metrics=``) contribute one extra column per per-replica
+    summary, named ``<metric>_<summary>`` (e.g. ``max_load_window_max``,
+    ``legitimacy_violations``).
     """
-    return TrialAggregate(
-        columns={
-            "window_max_load": result.max_load_seen.astype(float),
-            "min_empty_bins": result.min_empty_bins_seen.astype(float),
-            "first_legitimate_round": result.first_legitimate_round.astype(float),
-            "rounds": result.rounds.astype(float),
-            "final_max_load": result.final_max_load.astype(float),
-            "converged": result.converged.astype(float),
-        }
-    )
+    columns = {
+        "window_max_load": result.max_load_seen.astype(float),
+        "min_empty_bins": result.min_empty_bins_seen.astype(float),
+        "first_legitimate_round": result.first_legitimate_round.astype(float),
+        "rounds": result.rounds.astype(float),
+        "final_max_load": result.final_max_load.astype(float),
+        "converged": result.converged.astype(float),
+    }
+    for name in sorted(result.metrics):
+        payload = result.metrics[name]
+        for key in sorted(payload.summaries):
+            columns[f"{name}_{key}"] = np.asarray(
+                payload.summaries[key], dtype=float
+            )
+    return TrialAggregate(columns=columns)

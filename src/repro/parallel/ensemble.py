@@ -43,6 +43,14 @@ fixed ``(seed, engine, n_workers, kernel)`` tuple; the two engines draw
 their randomness differently, so they agree in distribution rather than
 trajectory-for-trajectory.
 
+Observation is unified across engines through :mod:`repro.metrics`:
+``spec.metrics`` names trackers (e.g. ``"max_load,legitimacy"``) that both
+engines attach through the shared observer pipeline — the batched engine
+passes them to the vectorized run loop (segmenting the native kernel every
+``spec.observe_every`` rounds), the sequential engine attaches the very
+same tracker objects to its ``R == 1`` runs — and the per-replica
+series/summaries come back on ``EnsembleResult.metrics``.
+
 Example
 -------
 >>> spec = EnsembleSpec(n_bins=8, n_replicas=3, rounds=5)
@@ -55,8 +63,9 @@ Example
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -75,6 +84,9 @@ from ..core.batched import (
 from ..core.config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
 from ..core.process import RepeatedBallsIntoBins
 from ..errors import ConfigurationError
+from ..metrics.payload import MetricPayload, concatenate_payload_maps
+from ..metrics.registry import build_trackers, normalize_metric_names
+from ..metrics.window import SingleReplicaView, run_replica_window, run_window
 from ..rng import as_seed_sequence
 from ..types import SeedLike
 
@@ -127,6 +139,18 @@ class EnsembleSpec:
         Periodic fault schedule for ``process="faulty"``: one fault every
         ``fault_period`` rounds starting at ``fault_offset`` (defaults to
         the period).  ``fault_period=None`` means no faults.
+    metrics:
+        Observed metrics collected during the run, as validated names from
+        :data:`repro.metrics.METRIC_NAMES` — a sequence, or a
+        comma-separated string (the JSON-scalar spelling sweep specs use,
+        e.g. ``"max_load,legitimacy"``).  Both engines attach the
+        corresponding batched trackers and the resulting per-replica
+        series/summaries ride on ``EnsembleResult.metrics`` through
+        aggregation, the store, and the CLI.  Empty by default (no
+        observation overhead).
+    observe_every:
+        Observation stride for the attached trackers; the native kernel
+        executes in segments of this length between observation points.
     """
 
     n_bins: int
@@ -142,8 +166,17 @@ class EnsembleSpec:
     adversary: str = "concentrate"
     fault_period: Optional[int] = None
     fault_offset: Optional[int] = None
+    metrics: Union[str, Sequence[str], Tuple[str, ...]] = ()
+    observe_every: int = 1
 
     def __post_init__(self) -> None:
+        # normalize + validate the metric selection up front (typos fail
+        # before anything runs, and sweeps hash the canonical tuple)
+        object.__setattr__(self, "metrics", normalize_metric_names(self.metrics))
+        if self.observe_every < 1:
+            raise ConfigurationError(
+                f"observe_every must be >= 1, got {self.observe_every}"
+            )
         if self.n_bins < 1:
             raise ConfigurationError(f"n_bins must be >= 1, got {self.n_bins}")
         if self.n_replicas < 1:
@@ -225,121 +258,128 @@ def _shard_initial(
 # ----------------------------------------------------------------------
 # Sequential engine (module-level trial functions: picklable for the pool)
 # ----------------------------------------------------------------------
-def _window_record(process, spec: EnsembleSpec, num_empty) -> dict:
-    """Run the generic step-loop window metrics for one replica.
+def _spec_trackers(spec: EnsembleSpec, n_replicas: int) -> List[tuple]:
+    """The ``(name, tracker)`` pairs this spec's metric selection requests.
 
-    ``process`` only needs ``step()``, ``loads``, ``max_load`` and
-    ``round_index``; ``num_empty`` is a callable returning the current
-    empty-bin count (the per-process classes expose it differently).
+    Trackers are bound to their ``(R, n)`` dimensions eagerly so payloads
+    carry well-shaped per-replica vectors even when a run executes zero
+    rounds (e.g. every replica passes the early-stop pre-check).
     """
-    threshold = legitimacy_threshold(spec.n_bins, spec.beta)
-    for _ in range(spec.warmup_rounds):
-        process.step()
-    if spec.stop_when_legitimate and process.max_load <= threshold:
-        # mirror RepeatedBallsIntoBins.run_until_legitimate's pre-check
-        return {
-            "rounds": 0,
-            "window_max_load": 0,
-            "min_empty_bins": num_empty(),
-            "first_legitimate_round": process.round_index,
-            "final_loads": np.array(process.loads, copy=True),
-        }
-    max_seen = 0
-    min_empty = spec.n_bins
-    first = -1
-    executed = 0
-    for _ in range(spec.rounds):
-        loads = process.step()
-        executed += 1
-        current_max = int(loads.max())
-        max_seen = max(max_seen, current_max)
-        min_empty = min(min_empty, num_empty())
-        if first < 0 and current_max <= threshold:
-            first = process.round_index
-            if spec.stop_when_legitimate:
-                break
-    return {
-        "rounds": executed,
-        "window_max_load": max_seen,
-        "min_empty_bins": min_empty if executed else num_empty(),
-        "first_legitimate_round": first,
-        "final_loads": np.array(process.loads, copy=True),
-    }
+    trackers = build_trackers(spec.metrics, beta=spec.beta)
+    for _, tracker in trackers:
+        tracker.bind(n_replicas, spec.n_bins)
+    return trackers
+
+
+def _window_record(process, spec: EnsembleSpec, num_empty) -> dict:
+    """Deprecated shim over :func:`repro.metrics.window.run_replica_window`.
+
+    The hand-rolled window loop that used to live here is gone; the shared
+    implementation in :mod:`repro.metrics.window` drives every engine now.
+    ``num_empty`` is ignored (empty-bin counts are derived from the load
+    vector directly).  This wrapper — and its sibling helpers — will be
+    removed one release after the :mod:`repro.metrics` refactor.
+    """
+    warnings.warn(
+        "_window_record is deprecated; use "
+        "repro.metrics.window.run_replica_window (the shared window loop) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_replica_window(
+        process,
+        spec.rounds,
+        beta=spec.beta,
+        stop_when_legitimate=spec.stop_when_legitimate,
+        warmup_rounds=spec.warmup_rounds,
+    )
 
 
 def _sequential_ensemble_trial(trial_index, seed, spec: EnsembleSpec) -> dict:
     init_seq, sim_seq = seed.spawn(2)
     initial = _replica_initial(spec, trial_index, init_seq)
     rng = np.random.default_rng(sim_seq)
-
-    if spec.process == "d_choices":
-        process = DChoicesProcess(
-            spec.n_bins, d=spec.d, initial=initial, seed=rng
-        )
-        return _window_record(
-            process,
-            spec,
-            lambda: int(np.count_nonzero(process.loads == 0)),
-        )
+    trackers = _spec_trackers(spec, n_replicas=1)
+    observers = [tracker for _, tracker in trackers] or None
 
     if spec.process == "faulty":
-        return _sequential_faulty_trial(spec, initial, rng)
-
-    process = RepeatedBallsIntoBins(spec.n_bins, initial=initial, seed=rng)
-    if spec.warmup_rounds:
-        process.run(spec.warmup_rounds, beta=spec.beta)
-    if spec.stop_when_legitimate and process.is_legitimate(spec.beta):
-        # mirror RepeatedBallsIntoBins.run_until_legitimate's pre-check
-        return {
-            "rounds": 0,
-            "window_max_load": 0,
-            "min_empty_bins": process.num_empty_bins,
-            "first_legitimate_round": process.round_index,
-            "final_loads": np.array(process.loads, copy=True),
-        }
-    outcome = process.run(
-        spec.rounds, beta=spec.beta, stop_when_legitimate=spec.stop_when_legitimate
-    )
-    first = outcome.first_legitimate_round
-    return {
-        "rounds": outcome.rounds,
-        "window_max_load": outcome.max_load_seen,
-        "min_empty_bins": outcome.min_empty_bins_seen,
-        "first_legitimate_round": -1 if first is None else first,
-        "final_loads": np.array(process.loads, copy=True),
-    }
+        record = _sequential_faulty_trial(spec, initial, rng, observers)
+    else:
+        if spec.process == "d_choices":
+            process = DChoicesProcess(
+                spec.n_bins, d=spec.d, initial=initial, seed=rng
+            )
+        else:
+            process = RepeatedBallsIntoBins(
+                spec.n_bins, initial=initial, seed=rng
+            )
+        record = run_replica_window(
+            process,
+            spec.rounds,
+            beta=spec.beta,
+            stop_when_legitimate=spec.stop_when_legitimate,
+            warmup_rounds=spec.warmup_rounds,
+            observers=observers,
+            observe_every=spec.observe_every,
+        )
+    record["metrics"] = {name: tracker.payload() for name, tracker in trackers}
+    return record
 
 
-def _sequential_faulty_trial(spec: EnsembleSpec, initial, rng) -> dict:
-    """One replica of the faulty process, mirroring :class:`FaultyProcess`.
+def _sequential_faulty_trial(
+    spec: EnsembleSpec, initial, rng, observers=None
+) -> dict:
+    """One replica of the faulty process through the shared window loop.
 
-    The adversary reassigns the configuration *before* the normal round
-    executes; the window maximum includes post-fault configurations (as in
-    :meth:`FaultyProcess.run` and the batched fault injector).
+    Mirrors :meth:`BatchedFaultyProcess.run` at ``R == 1``: the adversary
+    reassigns the configuration *before* the normal round executes
+    (``inject_loads``, so the round clock keeps running), the fault-free
+    stretches run as :func:`run_window` segments — the observation stride
+    restarts at each fault, exactly like the batched engine's segment
+    boundaries — and the window maximum includes post-fault
+    configurations.
     """
     process = RepeatedBallsIntoBins(spec.n_bins, initial=initial, seed=rng)
     adversary = get_adversary(spec.adversary)
     schedule = spec.fault_schedule()
     threshold = legitimacy_threshold(spec.n_bins, spec.beta)
+    view = SingleReplicaView(process)
+    first_legit = np.full(1, -1, dtype=np.int64)
     max_seen = process.max_load
     min_empty = spec.n_bins
-    first = -1
+
+    def run_segment(length: int) -> None:
+        nonlocal max_seen, min_empty
+        if length <= 0:
+            return
+        seg_max, seg_min, _, _ = run_window(
+            view,
+            length,
+            threshold,
+            first_legit=first_legit,
+            observers=observers,
+            observe_every=spec.observe_every,
+        )
+        max_seen = max(max_seen, int(seg_max[0]))
+        min_empty = min(min_empty, int(seg_min[0]))
+
+    previous = 1
     for step in range(1, spec.rounds + 1):
-        if schedule.is_faulty(step):
-            reassigned = adversary(process.loads, rng)
-            process.reset(initial=LoadConfiguration(reassigned))
-            max_seen = max(max_seen, int(reassigned.max()))
-        loads = process.step()
-        current_max = int(loads.max())
-        max_seen = max(max_seen, current_max)
-        min_empty = min(min_empty, int(np.count_nonzero(loads == 0)))
-        if first < 0 and current_max <= threshold:
-            first = step
+        if not schedule.is_faulty(step):
+            continue
+        run_segment(step - previous)
+        reassigned = adversary(process.loads, rng)
+        process.inject_loads(reassigned)
+        max_seen = max(max_seen, int(reassigned.max()))
+        previous = step
+    run_segment(spec.rounds - previous + 1)
+
     return {
         "rounds": spec.rounds,
         "window_max_load": max_seen,
         "min_empty_bins": min_empty if spec.rounds else process.num_empty_bins,
-        "first_legitimate_round": first,
+        "first_legitimate_round": int(first_legit[0]),
         "final_loads": np.array(process.loads, copy=True),
     }
 
@@ -353,6 +393,9 @@ def _run_sequential(
         spec.n_replicas,
         seed=seed,
         kwargs={"spec": spec},
+    )
+    metrics: Dict[str, MetricPayload] = concatenate_payload_maps(
+        [record.pop("metrics", {}) for record in records]
     )
     return EnsembleResult(
         n_bins=spec.n_bins,
@@ -369,6 +412,7 @@ def _run_sequential(
         ),
         beta=spec.beta,
         kernel="sequential",
+        metrics=metrics,
     )
 
 
@@ -405,6 +449,8 @@ def _batched_ensemble_shard(
     lo, hi = bounds[shard_index]
     init_seq, sim_seq = seed.spawn(2)
     initial = _shard_initial(spec, lo, hi, init_seq)
+    trackers = _spec_trackers(spec, n_replicas=hi - lo)
+    observers = [tracker for _, tracker in trackers] or None
     if spec.process == "faulty":
         faulty = BatchedFaultyProcess(
             spec.n_bins,
@@ -416,13 +462,27 @@ def _batched_ensemble_shard(
             seed=sim_seq,
             kernel=kernel,
         )
-        return faulty.run(spec.rounds, beta=spec.beta).to_ensemble_result()
-    batch = _make_batched_process(spec, hi - lo, initial, sim_seq, kernel)
-    if spec.warmup_rounds:
-        batch.run(spec.warmup_rounds, beta=spec.beta)
-    return batch.run(
-        spec.rounds, beta=spec.beta, stop_when_legitimate=spec.stop_when_legitimate
-    )
+        result = faulty.run(
+            spec.rounds,
+            beta=spec.beta,
+            observers=observers,
+            observe_every=spec.observe_every,
+        ).to_ensemble_result()
+    else:
+        batch = _make_batched_process(spec, hi - lo, initial, sim_seq, kernel)
+        if spec.warmup_rounds:
+            # metric tracking (and therefore observation) starts after the
+            # warm-up window, as for the sequential engine
+            batch.run(spec.warmup_rounds, beta=spec.beta)
+        result = batch.run(
+            spec.rounds,
+            beta=spec.beta,
+            stop_when_legitimate=spec.stop_when_legitimate,
+            observers=observers,
+            observe_every=spec.observe_every,
+        )
+    result.metrics = {name: tracker.payload() for name, tracker in trackers}
+    return result
 
 
 def _run_batched(

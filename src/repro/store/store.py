@@ -19,6 +19,14 @@ the manifest, queries and cross-point aggregation never load replica
 vectors; the npz shards exist for the minority of analyses that do want
 every replica.
 
+Points run with an observed-metric selection (``EnsembleSpec.metrics``,
+see :mod:`repro.metrics`) additionally carry, per observed metric, a
+summary block under ``summary["observed"]`` — streaming moments of every
+per-replica tracker summary, folded inline at write time through
+:func:`repro.metrics.adapters.summarize_payloads` — while the full
+per-replica series/arrays land in the point's npz shard under
+``observed.<metric>.*`` keys.
+
 The store is the sweep scheduler's checkpoint: the set of ``point_id``
 values present in the manifest is exactly the set of completed points, so
 a killed sweep resumes where it stopped.  Records are encoded canonically
@@ -92,6 +100,22 @@ def _metric_vectors(result: EnsembleResult) -> Dict[str, np.ndarray]:
     }
 
 
+def _observed_arrays(result: EnsembleResult) -> Dict[str, np.ndarray]:
+    """Flatten observed metric payloads into namespaced shard arrays."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, payload in result.metrics.items():
+        arrays[f"observed.{name}.rounds"] = np.asarray(
+            payload.rounds, dtype=np.int64
+        )
+        for key, series in payload.series.items():
+            arrays[f"observed.{name}.series.{key}"] = np.asarray(series)
+        for key, vector in payload.summaries.items():
+            arrays[f"observed.{name}.summary.{key}"] = np.asarray(vector)
+        for key, extra in payload.arrays.items():
+            arrays[f"observed.{name}.array.{key}"] = np.asarray(extra)
+    return arrays
+
+
 def _streaming_summary(vectors: Mapping[str, np.ndarray]) -> Dict[str, Any]:
     """Fold replica vectors chunk-by-chunk into the manifest summary."""
     moments = {name: StreamingMoments() for name in METRICS}
@@ -143,6 +167,12 @@ class PointTable:
             row[f"{name}_std"] = moments.std(ddof=1)
             row[f"{name}_min"] = moments.minimum
             row[f"{name}_max"] = moments.maximum
+        # observed-metric summaries (points run with EnsembleSpec.metrics)
+        for name, entry in sorted(summary.get("observed", {}).items()):
+            for key, payload_moments in sorted(entry.items()):
+                moments = StreamingMoments.from_dict(payload_moments)
+                row[f"{name}_{key}_mean"] = moments.mean
+                row[f"{name}_{key}_max"] = moments.maximum
         return row
 
     def __len__(self) -> int:
@@ -298,6 +328,13 @@ class ResultStore:
             )
         vectors = _metric_vectors(result)
         shard_name = f"{self.SHARD_DIR}/{point_id}.npz"
+        summary = _streaming_summary(vectors)
+        if result.metrics:
+            # summarize observed trackers inline (single streaming pass at
+            # write time) so queries never re-read replica shards
+            from ..metrics.adapters import summarize_payloads
+
+            summary["observed"] = summarize_payloads(result.metrics)
         record = {
             "index": int(index),
             "point_id": point_id,
@@ -308,16 +345,17 @@ class ResultStore:
             "n_bins": int(result.n_bins),
             "beta": float(result.beta),
             "shard": shard_name,
-            "summary": _streaming_summary(vectors),
+            "summary": summary,
         }
         line = canonical_json(record) + "\n"
+        shard_arrays = {**vectors, **_observed_arrays(result)}
         if self.directory is None:
-            self._shards[point_id] = vectors
+            self._shards[point_id] = shard_arrays
         else:
             shard_path = self.directory / shard_name
             tmp_path = shard_path.with_suffix(".npz.tmp")
             with tmp_path.open("wb") as handle:
-                np.savez(handle, **vectors)
+                np.savez(handle, **shard_arrays)
             tmp_path.replace(shard_path)
             with (self.directory / self.MANIFEST_NAME).open("a") as handle:
                 handle.write(line)
@@ -401,6 +439,36 @@ class ResultStore:
             merged = merged.merged(
                 StreamingMoments.from_dict(record["summary"]["metrics"][metric])
             )
+        return merged
+
+    def summarize_observed(
+        self, metric: str, key: str, **filters: Any
+    ) -> StreamingMoments:
+        """Merge the selected points' *observed*-metric moments.
+
+        ``metric`` / ``key`` name a tracker and one of its per-replica
+        summaries (e.g. ``("legitimacy", "violations")``); points recorded
+        without that observation are skipped.  Like :meth:`summarize`,
+        this reads only manifest summaries.
+        """
+        from ..metrics.registry import METRIC_NAMES
+
+        if metric not in METRIC_NAMES:
+            raise ConfigurationError(
+                f"unknown observed metric {metric!r}; available: "
+                f"{', '.join(METRIC_NAMES)}"
+            )
+        merged = StreamingMoments()
+        for record in self.select(**filters).records:
+            entry = record["summary"].get("observed", {}).get(metric)
+            if entry is None:
+                continue
+            if key not in entry:
+                raise ConfigurationError(
+                    f"observed metric {metric!r} has no summary {key!r}; "
+                    f"available: {', '.join(sorted(entry))}"
+                )
+            merged = merged.merged(StreamingMoments.from_dict(entry[key]))
         return merged
 
     def max_load_tail(self, **filters: Any) -> TailCounter:

@@ -30,6 +30,7 @@ __all__ = [
     "e9_sweep_spec",
     "fault_period_for_gamma",
     "smoke_sweep_spec",
+    "trajectories_sweep_spec",
     "get_sweep",
     "available_sweeps",
 ]
@@ -143,10 +144,51 @@ def smoke_sweep_spec() -> SweepSpec:
     )
 
 
+def trajectories_sweep_spec(
+    sizes: Sequence[int] = (64, 256, 1024),
+    trials: int = 16,
+    rounds_factor: float = 8.0,
+    observe_every: int = 16,
+) -> SweepSpec:
+    """Observed-trajectory sweep: M(t) + legitimacy series over sizes.
+
+    Each point collects the per-round max-load series and legitimacy
+    hitting statistics through the unified observer layer
+    (``EnsembleSpec.metrics``); the round budget scales with ``n``, so
+    the family is an explicit point list.  Streaming summaries land in
+    the manifest (queryable without shard reads), the full ``(T, R)``
+    series in the point shards.
+    """
+    points = _deduped(
+        [
+            {
+                "n_bins": int(n),
+                "rounds": max(int(rounds_factor * n), 1),
+            }
+            for n in sizes
+        ]
+    )
+    return SweepSpec(
+        name="trajectories",
+        description=(
+            "observed M(t)/legitimacy trajectories of the plain process "
+            "over sizes (Theorem 1 window quantities)"
+        ),
+        base={
+            "n_replicas": int(trials),
+            "start": "all_in_one",
+            "metrics": "max_load,legitimacy",
+            "observe_every": int(observe_every),
+        },
+        points=points,
+    )
+
+
 _CATALOG: Dict[str, Callable[[], SweepSpec]] = {
     "a2_d_choices": a2_sweep_spec,
     "e9_adversarial": e9_sweep_spec,
     "smoke": smoke_sweep_spec,
+    "trajectories": trajectories_sweep_spec,
 }
 
 

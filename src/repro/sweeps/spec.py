@@ -3,8 +3,9 @@
 A :class:`SweepSpec` describes a *family* of ensembles over the fields of
 :class:`~repro.parallel.ensemble.EnsembleSpec` — system size ``n_bins``,
 load ``n_balls``, round budget, process family (``rbb`` / ``d_choices`` /
-``faulty``), ``d``, adversary, fault cadence, and ensemble size
-``n_replicas`` — as the union of
+``faulty``), ``d``, adversary, fault cadence, ensemble size
+``n_replicas``, and the observed-metric selection (``metrics`` as a
+comma-separated name string, ``observe_every``) — as the union of
 
 * a **cartesian grid**: ``grid={"n_bins": [256, 1024], "d": [1, 2, 4]}``
   expands to every combination, axes varying in declaration order with the

@@ -159,6 +159,49 @@ class TestSweepCli:
         out = capsys.readouterr().out
         assert "window_max_load_mean" in out and "rbb" in out
 
+    def test_sweep_run_with_observed_metrics(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        code = main(
+            [
+                "sweep", "run", "smoke",
+                "--store", str(store),
+                "--seed", "3",
+                "--kernel", "numpy",
+                "--metrics", "max_load,legitimacy",
+                "--observe-every", "4",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "sweep", "query",
+                "--store", str(store),
+                "--columns", "index", "max_load_window_max_mean",
+                "legitimacy_violations_mean",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max_load_window_max_mean" in out
+        # the observation selection is pinned in the header: resume needs no flags
+        from repro.store import ResultStore
+
+        header = ResultStore.open(store).read_header()
+        assert header["spec"]["base"]["metrics"] == "max_load,legitimacy"
+        assert header["spec"]["base"]["observe_every"] == 4
+
+    def test_sweep_run_rejects_unknown_metric(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep", "run", "smoke",
+                "--store", str(tmp_path / "store"),
+                "--metrics", "max_loda",
+            ]
+        )
+        assert code == 2
+        assert "unknown metric" in capsys.readouterr().err
+
     def test_sweep_run_refuses_existing_store(self, capsys, tmp_path):
         store = tmp_path / "store"
         assert main(["sweep", "run", "smoke", "--store", str(store), "--kernel", "numpy"]) == 0

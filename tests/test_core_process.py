@@ -176,6 +176,20 @@ class TestReset:
         with pytest.raises(ConfigurationError):
             process.reset(LoadConfiguration.balanced(4))
 
+    def test_inject_loads_conserves_and_keeps_clock(self):
+        process = RepeatedBallsIntoBins(8, seed=0)
+        process.run(5)
+        process.inject_loads(LoadConfiguration.all_in_one(8))
+        assert process.max_load == 8
+        assert process.round_index == 5  # unlike reset(), the clock runs on
+
+    def test_inject_loads_rejects_nonconserving(self):
+        process = RepeatedBallsIntoBins(8, seed=0)
+        with pytest.raises(ConfigurationError, match="conserve"):
+            process.inject_loads(LoadConfiguration.all_in_one(8, n_balls=9))
+        with pytest.raises(ConfigurationError):
+            process.inject_loads(LoadConfiguration.balanced(4))
+
 
 class TestPaperBehaviour:
     """Statistical sanity checks tied to the paper's claims (small scale)."""

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.adversary",
     "repro.baselines",
     "repro.analysis",
+    "repro.metrics",
     "repro.parallel",
     "repro.sweeps",
     "repro.store",
@@ -58,6 +59,12 @@ MODULES = [
     "repro.analysis.occupancy",
     "repro.analysis.statistics",
     "repro.analysis.fitting",
+    "repro.metrics.base",
+    "repro.metrics.trackers",
+    "repro.metrics.window",
+    "repro.metrics.payload",
+    "repro.metrics.registry",
+    "repro.metrics.adapters",
     "repro.parallel.seeding",
     "repro.parallel.runner",
     "repro.parallel.aggregate",
