@@ -25,6 +25,13 @@ scale of ``R = 256`` replicas and ``n = 1024`` bins:
     16-round segments between observation points, so observed batched
     runs must retain at least 10x over plain per-trial sequential
     execution.
+``walks``
+    Topology-constrained parallel walks on the 32x32 torus
+    (``process="graph_walks"``).  The per-trial sequential baseline is
+    already fully vectorized per round, so the pure-numpy batched walks
+    only need to beat it; the compiled walk kernel
+    (``graphs/walk_kernel.c``, one FFI call per run) must be at least
+    10x faster than per-trial sequential execution.
 
 Run standalone::
 
@@ -54,6 +61,9 @@ DCHOICES_ROUNDS = 12
 #: Rounds / fault period for the adversarial scenario (4 faults per run).
 FAULTY_ROUNDS = 1000
 FAULT_PERIOD = 250
+#: Rounds / topology for the graph-walks scenario.
+WALKS_ROUNDS = 200
+WALKS_TOPOLOGY = "torus:32x32"
 
 #: Speedup the native batched kernel must reach over per-trial sequential.
 NATIVE_TARGET = 10.0
@@ -66,6 +76,10 @@ FAULTY_TARGET = 10.0
 #: must retain 10x over plain per-trial sequential execution.
 OBSERVED_TARGET = 10.0
 OBSERVE_EVERY = 16
+#: The native walk kernel must reach 10x over per-trial sequential walks;
+#: the numpy batched walks must at least beat sequential.
+WALKS_TARGET = 10.0
+WALKS_NUMPY_TARGET = 1.2
 
 
 def _plain_spec() -> EnsembleSpec:
@@ -105,6 +119,17 @@ def _faulty_spec() -> EnsembleSpec:
         process="faulty",
         adversary="concentrate",
         fault_period=FAULT_PERIOD,
+    )
+
+
+def _walks_spec() -> EnsembleSpec:
+    return EnsembleSpec(
+        n_bins=N_BINS,
+        n_replicas=N_REPLICAS,
+        rounds=WALKS_ROUNDS,
+        start="balanced",
+        process="graph_walks",
+        topology=WALKS_TOPOLOGY,
     )
 
 
@@ -149,6 +174,18 @@ def measure() -> Dict[str, float]:
     timings["faulty_speedup"] = (
         timings["faulty_sequential_s"] / timings["faulty_batched_s"]
     )
+
+    walks = _walks_spec()
+    timings["walks_sequential_s"] = _timed(walks, "sequential")
+    timings["walks_numpy_s"] = _timed(walks, "batched", kernel="numpy")
+    timings["walks_numpy_speedup"] = (
+        timings["walks_sequential_s"] / timings["walks_numpy_s"]
+    )
+    if native_available("walks"):
+        timings["walks_native_s"] = _timed(walks, "batched", kernel="native")
+        timings["walks_native_speedup"] = (
+            timings["walks_sequential_s"] / timings["walks_native_s"]
+        )
     return timings
 
 
@@ -181,6 +218,18 @@ def test_batched_engine_speedup():
         f"batched adversarial ensemble below the {FAULTY_TARGET}x target: "
         f"{timings['faulty_speedup']:.2f}x"
     )
+    assert timings["walks_numpy_speedup"] >= WALKS_NUMPY_TARGET, (
+        f"batched numpy walks slower than expected: "
+        f"{timings['walks_numpy_speedup']:.2f}x < {WALKS_NUMPY_TARGET}x"
+    )
+    assert "walks_native_speedup" in timings, (
+        "a C compiler is available (the rbb kernel compiled) but the walk "
+        f"kernel did not: {native_status('walks')}"
+    )
+    assert timings["walks_native_speedup"] >= WALKS_TARGET, (
+        f"native walk kernel below the {WALKS_TARGET}x target: "
+        f"{timings['walks_native_speedup']:.2f}x"
+    )
 
 
 def main() -> int:
@@ -193,9 +242,11 @@ def main() -> int:
     print(
         f"ensembles: R={N_REPLICAS} replicas, n={N_BINS} bins "
         f"(plain: {ROUNDS} rounds; Greedy[2]: {DCHOICES_ROUNDS} rounds; "
-        f"adversarial: {FAULTY_ROUNDS} rounds, fault every {FAULT_PERIOD})"
+        f"adversarial: {FAULTY_ROUNDS} rounds, fault every {FAULT_PERIOD}; "
+        f"walks: {WALKS_ROUNDS} rounds on {WALKS_TOPOLOGY})"
     )
-    print(f"native kernel: {native_status()}")
+    print(f"native rbb kernel  : {native_status()}")
+    print(f"native walk kernel : {native_status('walks')}")
     timings = measure()
 
     rows = [
@@ -239,7 +290,23 @@ def main() -> int:
             FAULTY_ROUNDS,
             timings["faulty_speedup"],
         ),
+        ("walks / sequential", timings["walks_sequential_s"], WALKS_ROUNDS, 1.0),
+        (
+            "walks / batched numpy",
+            timings["walks_numpy_s"],
+            WALKS_ROUNDS,
+            timings["walks_numpy_speedup"],
+        ),
     ]
+    if "walks_native_s" in timings:
+        rows.append(
+            (
+                "walks / batched native",
+                timings["walks_native_s"],
+                WALKS_ROUNDS,
+                timings["walks_native_speedup"],
+            )
+        )
     print(
         f"{'scenario / engine':28s} {'wall clock':>12s} "
         f"{'replica-rounds/s':>18s} {'speedup':>9s}"
@@ -281,6 +348,22 @@ def main() -> int:
         print(
             f"note: native kernel unavailable; the {NATIVE_TARGET}x plain and "
             "adversarial targets are not checked"
+        )
+    if timings["walks_numpy_speedup"] < WALKS_NUMPY_TARGET:
+        failures.append(
+            f"batched numpy walks speedup {timings['walks_numpy_speedup']:.2f}x "
+            f"< {WALKS_NUMPY_TARGET}x target"
+        )
+    if "walks_native_speedup" in timings:
+        if timings["walks_native_speedup"] < WALKS_TARGET:
+            failures.append(
+                f"native walk kernel speedup {timings['walks_native_speedup']:.2f}x "
+                f"< {WALKS_TARGET}x target"
+            )
+    else:
+        print(
+            f"note: native walk kernel unavailable; the {WALKS_TARGET}x "
+            "batched-walks target is not checked"
         )
     for failure in failures:
         print(f"FAILED: {failure}")

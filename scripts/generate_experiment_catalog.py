@@ -108,8 +108,10 @@ def render_catalog() -> str:
         "`EnsembleSpec.process` selector accepts "
         + ", ".join(f"`{p}`" for p in PROCESSES)
         + ": the plain 1-choice repeated balls-into-bins process, the "
-        "repeated Greedy[d] allocator, and the plain process under the "
-        "Section 4.1 adversarial fault model.\n"
+        "repeated Greedy[d] allocator, the plain process under the "
+        "Section 4.1 adversarial fault model, and topology-constrained "
+        "parallel walks on the graph named by `topology=` (e.g. "
+        "`\"torus:32x32\"`).\n"
     )
 
     out.write("\n## Sweep-generated families\n\n")

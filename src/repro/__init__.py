@@ -64,7 +64,15 @@ from .errors import (
     SimulationError,
 )
 from .experiments import available_experiments, format_table, run_experiment
-from .graphs import ConstrainedParallelWalks, Topology, complete_graph, cycle_graph
+from .graphs import (
+    BatchedConstrainedWalks,
+    ConstrainedParallelWalks,
+    Topology,
+    complete_graph,
+    cycle_graph,
+    parse_topology_spec,
+    resolve_topology,
+)
 from .markov import BinLoadChain, FiniteMarkovChain, absorption_tail_bound
 from .metrics import (
     METRIC_NAMES,
@@ -130,7 +138,10 @@ __all__ = [
     "Topology",
     "complete_graph",
     "cycle_graph",
+    "parse_topology_spec",
+    "resolve_topology",
     "ConstrainedParallelWalks",
+    "BatchedConstrainedWalks",
     # traversal
     "MultiTokenTraversal",
     "SingleTokenWalk",

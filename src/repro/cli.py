@@ -296,6 +296,7 @@ _QUERY_COLUMNS = [
     "n_replicas",
     "rounds",
     "process",
+    "topology",
     "d",
     "adversary",
     "fault_period",

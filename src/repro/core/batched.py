@@ -397,6 +397,7 @@ class BatchedLoadProcess:
             self._seed_seq = as_seed_sequence(seed)
             self._rng = np.random.default_rng(self._seed_seq)
         self._row_base = np.arange(n_replicas, dtype=np.int64) * n_bins
+        self._native_state: Optional[np.ndarray] = None
 
     def _coerce_initial(self, initial, n_balls: Optional[int]) -> np.ndarray:
         n, R = self._n_bins, self._n_replicas
@@ -602,6 +603,45 @@ class BatchedLoadProcess:
         )
         return max_seen, min_empty, self.kernel_name
 
+    def _run_window_native(
+        self, kernel, rounds, threshold, stop_when_legitimate, first_legit,
+        observers, observe_every,
+    ):
+        """Drive a subclass's ``_run_native`` through the shared
+        observed-segmentation loop.
+
+        Unobserved runs collapse into a single kernel call.  Observed runs
+        advance ``observe_every`` rounds per FFI call and observers see the
+        state between segments; every native kernel consumes its
+        per-replica streams round by round, so a segmented run follows the
+        exact same trajectory as a whole-window one.  Shared by the rbb and
+        walk kernels so the segmentation logic exists exactly once.
+        """
+        if observers is None or observers.is_empty:
+            max_seen, min_empty = self._run_native(
+                kernel, rounds, threshold, stop_when_legitimate, first_legit
+            )
+            return max_seen, min_empty, "native"
+        R, n = self._n_replicas, self._n_bins
+        max_seen = np.zeros(R, dtype=np.int64)
+        min_empty = np.full(R, n, dtype=np.int64)
+        done = 0
+        while done < rounds and self._active.any():
+            segment = min(observe_every, rounds - done)
+            seg_max, seg_min = self._run_native(
+                kernel, segment, threshold, stop_when_legitimate, first_legit
+            )
+            np.maximum(max_seen, seg_max, out=max_seen)
+            np.minimum(min_empty, seg_min, out=min_empty)
+            done += segment
+            observers.observe(int(self._rounds_done.max()), self.loads)
+        return max_seen, min_empty, "native"
+
+    def _run_native(self, kernel, rounds, threshold, stop_when_legitimate, first_legit):
+        """One native-kernel call advancing up to ``rounds`` rounds
+        (kernel-owning subclasses implement this)."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # Conveniences
     # ------------------------------------------------------------------
@@ -672,6 +712,31 @@ class BatchedLoadProcess:
         self._rounds_done[:] = 0
         self._active[:] = True
 
+    def _native_states(self) -> np.ndarray:
+        """Per-replica xoshiro256++ states, seeded once per instance.
+
+        Shared by every native kernel (`rbb_kernel.c`, `walk_kernel.c`):
+        each replica's 4-word state comes from its own spawned
+        ``SeedSequence`` child, so a replica's native trajectory depends
+        only on its seed words, not on the batch size.
+        """
+        if self._native_state is None:
+            R = self._n_replicas
+            if self._seed_seq is not None:
+                children = self._seed_seq.spawn(R)
+                state = np.stack(
+                    [c.generate_state(4, dtype=np.uint64) for c in children]
+                )
+            else:  # seeded from a caller-provided Generator
+                state = self._rng.integers(
+                    0, np.iinfo(np.uint64).max, size=(R, 4), dtype=np.uint64,
+                    endpoint=True,
+                )
+            zero_rows = ~state.any(axis=1)  # all-zero is invalid for xoshiro
+            state[zero_rows, 0] = 0x9E3779B97F4A7C15
+            self._native_state = np.ascontiguousarray(state)
+        return self._native_state
+
     def _check_conservation(self) -> None:
         totals = self._loads.sum(axis=1)
         if not np.array_equal(totals, self._n_balls):
@@ -725,7 +790,6 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
             n_bins, n_replicas, n_balls=n_balls, initial=initial, seed=seed
         )
         self._kernel = kernel
-        self._native_state: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Dynamics — numpy reference kernel
@@ -769,30 +833,10 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
                 rounds, threshold, stop_when_legitimate, first_legit, observers,
                 observe_every,
             )
-        if observers is None or observers.is_empty:
-            max_seen, min_empty = self._run_native(
-                kernel, rounds, threshold, stop_when_legitimate, first_legit
-            )
-            return max_seen, min_empty, "native"
-        # Observed native run: the kernel advances `observe_every` rounds
-        # per FFI call and observers see the state between segments.  The
-        # per-replica xoshiro streams consume randomness round by round, so
-        # a segmented run follows the exact same trajectory as a
-        # whole-window one.
-        R, n = self._n_replicas, self._n_bins
-        max_seen = np.zeros(R, dtype=np.int64)
-        min_empty = np.full(R, n, dtype=np.int64)
-        done = 0
-        while done < rounds and self._active.any():
-            segment = min(observe_every, rounds - done)
-            seg_max, seg_min = self._run_native(
-                kernel, segment, threshold, stop_when_legitimate, first_legit
-            )
-            np.maximum(max_seen, seg_max, out=max_seen)
-            np.minimum(min_empty, seg_min, out=min_empty)
-            done += segment
-            observers.observe(int(self._rounds_done.max()), self.loads)
-        return max_seen, min_empty, "native"
+        return self._run_window_native(
+            kernel, rounds, threshold, stop_when_legitimate, first_legit,
+            observers, observe_every,
+        )
 
     # ------------------------------------------------------------------
     # Dynamics — native kernel
@@ -802,25 +846,6 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
             self._n_bins < 2**31
             and (self._n_balls < 2**31 - 1).all()
         )
-
-    def _native_states(self) -> np.ndarray:
-        """Per-replica xoshiro256++ states, seeded once per instance."""
-        if self._native_state is None:
-            R = self._n_replicas
-            if self._seed_seq is not None:
-                children = self._seed_seq.spawn(R)
-                state = np.stack(
-                    [c.generate_state(4, dtype=np.uint64) for c in children]
-                )
-            else:  # seeded from a caller-provided Generator
-                state = self._rng.integers(
-                    0, np.iinfo(np.uint64).max, size=(R, 4), dtype=np.uint64,
-                    endpoint=True,
-                )
-            zero_rows = ~state.any(axis=1)  # all-zero is invalid for xoshiro
-            state[zero_rows, 0] = 0x9E3779B97F4A7C15
-            self._native_state = np.ascontiguousarray(state)
-        return self._native_state
 
     def _run_native(self, kernel, rounds, threshold, stop_when_legitimate, first_legit):
         R = self._n_replicas

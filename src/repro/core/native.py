@@ -1,19 +1,29 @@
-"""On-demand compilation and loading of the native batched kernel.
+"""On-demand compilation and loading of the native batched kernels.
 
-``rbb_kernel.c`` (shipped next to this module) is compiled once per source
-version into a shared library under the user's cache directory and loaded
-through :mod:`ctypes`.  Everything is best-effort: when no C compiler is
-available, compilation fails, or the environment variable ``REPRO_NATIVE=0``
-disables the fast path, callers fall back to the pure-numpy kernel in
-:mod:`repro.core.batched` — the semantic reference implementation.
+Two C kernels ship with the package and are compiled once per source
+version into shared libraries under the user's cache directory, then
+loaded through :mod:`ctypes`:
 
-The public surface is three functions:
+``"rbb"``
+    ``rbb_kernel.c`` (next to this module) — the repeated balls-into-bins
+    update driven by :class:`~repro.core.batched.BatchedRepeatedBallsIntoBins`.
+``"walks"``
+    ``graphs/walk_kernel.c`` — the topology-constrained parallel-walk
+    update driven by :class:`~repro.graphs.batched.BatchedConstrainedWalks`.
 
-``native_available()``
+Everything is best-effort: when no C compiler is available, compilation
+fails, or the environment variable ``REPRO_NATIVE=0`` disables the fast
+path, callers fall back to the pure-numpy kernels — the semantic
+reference implementations.
+
+The public surface is three functions, each taking the kernel name
+(default ``"rbb"``, the historical single kernel):
+
+``native_available(kernel)``
     Whether the compiled kernel can be used in this process.
-``get_kernel()``
-    The ``ctypes`` function for ``rbb_run`` (or ``None``).
-``native_status()``
+``get_kernel(kernel)``
+    The ``ctypes`` function for the kernel's entry point (or ``None``).
+``native_status(kernel)``
     A human-readable explanation of why the kernel is or is not available.
 """
 
@@ -26,16 +36,82 @@ import platform
 import shutil
 import subprocess
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Dict, Optional, Tuple
 
-__all__ = ["native_available", "get_kernel", "native_status"]
+__all__ = ["native_available", "get_kernel", "native_status", "KERNEL_NAMES"]
 
-_SOURCE_PATH = Path(__file__).with_name("rbb_kernel.c")
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
 
-#: Tri-state cache: unset sentinel, or (kernel-or-None, status message).
-_UNSET = object()
-_CACHE = _UNSET
+
+def _declare_rbb(lib: ctypes.CDLL):
+    fn = lib.rbb_run
+    fn.argtypes = [
+        ctypes.POINTER(ctypes.c_int32),  # loads (R, n)
+        ctypes.c_int64,  # R
+        ctypes.c_int64,  # n
+        ctypes.c_int64,  # rounds
+        ctypes.POINTER(ctypes.c_uint64),  # rng_state (R, 4)
+        ctypes.c_double,  # threshold
+        ctypes.c_int,  # stop_when_legitimate
+        ctypes.POINTER(ctypes.c_int32),  # max_seen (R,)
+        ctypes.POINTER(ctypes.c_int32),  # min_empty_seen (R,)
+        ctypes.POINTER(ctypes.c_int64),  # first_legit (R,)
+        ctypes.POINTER(ctypes.c_int64),  # rounds_done (R,)
+        ctypes.POINTER(ctypes.c_uint8),  # active (R,)
+    ]
+    fn.restype = None
+    return fn
+
+
+def _declare_walks(lib: ctypes.CDLL):
+    fn = lib.walks_run
+    fn.argtypes = [
+        ctypes.POINTER(ctypes.c_int32),  # loads (R, n)
+        ctypes.c_int64,  # R
+        ctypes.c_int64,  # n
+        ctypes.POINTER(ctypes.c_int32),  # neighbors (E,)
+        ctypes.POINTER(ctypes.c_int64),  # offsets (n + 1,)
+        ctypes.POINTER(ctypes.c_int32),  # degrees (n,)
+        ctypes.POINTER(ctypes.c_uint32),  # lims (n,)
+        ctypes.c_int64,  # rounds
+        ctypes.POINTER(ctypes.c_uint64),  # rng_state (R, 4)
+        ctypes.c_double,  # threshold
+        ctypes.c_int,  # stop_when_legitimate
+        ctypes.c_int,  # constrained
+        ctypes.POINTER(ctypes.c_int32),  # max_seen (R,)
+        ctypes.POINTER(ctypes.c_int32),  # min_empty_seen (R,)
+        ctypes.POINTER(ctypes.c_int64),  # first_legit (R,)
+        ctypes.POINTER(ctypes.c_int64),  # rounds_done (R,)
+        ctypes.POINTER(ctypes.c_uint8),  # active (R,)
+        ctypes.POINTER(ctypes.c_int32),  # scratch (n,)
+        ctypes.POINTER(ctypes.c_int32),  # sources (n,)
+    ]
+    fn.restype = None
+    return fn
+
+
+@dataclass(frozen=True)
+class _KernelSpec:
+    source: Path
+    declare: Callable[[ctypes.CDLL], object]
+
+
+_KERNELS: Dict[str, _KernelSpec] = {
+    "rbb": _KernelSpec(
+        source=_PACKAGE_ROOT / "core" / "rbb_kernel.c", declare=_declare_rbb
+    ),
+    "walks": _KernelSpec(
+        source=_PACKAGE_ROOT / "graphs" / "walk_kernel.c",
+        declare=_declare_walks,
+    ),
+}
+
+#: Names of the compiled kernels this module can load.
+KERNEL_NAMES: Tuple[str, ...] = tuple(_KERNELS)
+
+_CACHE: Dict[str, Tuple[Optional[object], str]] = {}
 
 
 def _cache_dir() -> Path:
@@ -72,31 +148,12 @@ def _compile(source: Path, out: Path, cc: str) -> None:
     raise RuntimeError(f"compilation failed: {proc.stderr.strip()[:500]}")
 
 
-def _declare(lib: ctypes.CDLL):
-    fn = lib.rbb_run
-    fn.argtypes = [
-        ctypes.POINTER(ctypes.c_int32),  # loads (R, n)
-        ctypes.c_int64,  # R
-        ctypes.c_int64,  # n
-        ctypes.c_int64,  # rounds
-        ctypes.POINTER(ctypes.c_uint64),  # rng_state (R, 4)
-        ctypes.c_double,  # threshold
-        ctypes.c_int,  # stop_when_legitimate
-        ctypes.POINTER(ctypes.c_int32),  # max_seen (R,)
-        ctypes.POINTER(ctypes.c_int32),  # min_empty_seen (R,)
-        ctypes.POINTER(ctypes.c_int64),  # first_legit (R,)
-        ctypes.POINTER(ctypes.c_int64),  # rounds_done (R,)
-        ctypes.POINTER(ctypes.c_uint8),  # active (R,)
-    ]
-    fn.restype = None
-    return fn
-
-
-def _load():
+def _load(name: str):
+    spec = _KERNELS[name]
     if os.environ.get("REPRO_NATIVE", "").strip() == "0":
         return None, "disabled via REPRO_NATIVE=0"
-    if not _SOURCE_PATH.exists():
-        return None, f"kernel source missing: {_SOURCE_PATH}"
+    if not spec.source.exists():
+        return None, f"kernel source missing: {spec.source}"
     cc = _compiler()
     if cc is None:
         return None, "no C compiler found (set CC or install cc/gcc/clang)"
@@ -105,39 +162,42 @@ def _load():
     # $HOME on a heterogeneous cluster), and switching CC must not reuse a
     # stale .so
     fingerprint = hashlib.sha256(
-        _SOURCE_PATH.read_bytes()
+        spec.source.read_bytes()
         + cc.encode()
         + platform.machine().encode()
         + platform.processor().encode()
         + platform.node().encode()
     ).hexdigest()[:16]
-    lib_path = _cache_dir() / f"rbb_kernel-{fingerprint}.so"
+    lib_path = _cache_dir() / f"{spec.source.stem}-{fingerprint}.so"
     try:
         if not lib_path.exists():
-            _compile(_SOURCE_PATH, lib_path, cc)
-        kernel = _declare(ctypes.CDLL(str(lib_path)))
+            _compile(spec.source, lib_path, cc)
+        kernel = spec.declare(ctypes.CDLL(str(lib_path)))
     except Exception as exc:  # noqa: BLE001 - any failure means "unavailable"
         return None, f"native kernel unavailable: {exc}"
     return kernel, f"compiled with {cc} -> {lib_path}"
 
 
-def _resolve():
-    global _CACHE
-    if _CACHE is _UNSET:
-        _CACHE = _load()
-    return _CACHE
+def _resolve(name: str):
+    if name not in _KERNELS:
+        raise KeyError(
+            f"unknown native kernel {name!r}; available: {', '.join(KERNEL_NAMES)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = _load(name)
+    return _CACHE[name]
 
 
-def native_available() -> bool:
+def native_available(kernel: str = "rbb") -> bool:
     """Whether the compiled kernel is usable in this process."""
-    return _resolve()[0] is not None
+    return _resolve(kernel)[0] is not None
 
 
-def get_kernel():
-    """The ``ctypes`` entry point for ``rbb_run``, or ``None``."""
-    return _resolve()[0]
+def get_kernel(kernel: str = "rbb"):
+    """The ``ctypes`` entry point of a compiled kernel, or ``None``."""
+    return _resolve(kernel)[0]
 
 
-def native_status() -> str:
+def native_status(kernel: str = "rbb") -> str:
     """Human-readable availability message (for diagnostics and the CLI)."""
-    return _resolve()[1]
+    return _resolve(kernel)[1]

@@ -47,7 +47,14 @@ class TokenProcessResult:
     rounds:
         Number of rounds simulated by this call.
     max_load_seen:
-        Window maximum load.
+        Window maximum load, seeded from the configuration at call time
+        (a zero-round call reports the observed max, never 0).
+    min_empty_seen:
+        Window minimum of the empty-bin count, seeded from the
+        configuration at call time — the same window convention as
+        ``max_load_seen``, making this result comparable with the other
+        run loops (:class:`~repro.core.process.RepeatedBallsIntoBins`,
+        the graph walks, the batched engines).
     cover_time:
         First (global) round at which every ball had visited every bin, or
         ``None`` if coverage was not reached within the simulated window.
@@ -63,6 +70,7 @@ class TokenProcessResult:
 
     rounds: int
     max_load_seen: int
+    min_empty_seen: int
     cover_time: Optional[int]
     ball_cover_times: Optional[np.ndarray]
     moves: np.ndarray
@@ -213,6 +221,10 @@ class TokenRepeatedBallsIntoBins:
     def max_load(self) -> int:
         return int(self._loads.max()) if self._n_bins else 0
 
+    @property
+    def num_empty_bins(self) -> int:
+        return int(np.count_nonzero(self._loads == 0))
+
     def is_legitimate(self, beta: float = DEFAULT_BETA) -> bool:
         return self.max_load <= legitimacy_threshold(self._n_bins, beta)
 
@@ -315,6 +327,7 @@ class TokenRepeatedBallsIntoBins:
         obs = ObserverList.coerce(observers)
 
         max_load_seen = self.max_load
+        min_empty_seen = self.num_empty_bins
         executed = 0
         for _ in range(rounds):
             loads = self.step()
@@ -322,6 +335,9 @@ class TokenRepeatedBallsIntoBins:
             current_max = int(loads.max())
             if current_max > max_load_seen:
                 max_load_seen = current_max
+            current_empty = int(np.count_nonzero(loads == 0))
+            if current_empty < min_empty_seen:
+                min_empty_seen = current_empty
             if not obs.is_empty:
                 obs.observe(self._round, loads)
             if stop_when_covered and self.all_covered:
@@ -336,6 +352,7 @@ class TokenRepeatedBallsIntoBins:
         return TokenProcessResult(
             rounds=executed,
             max_load_seen=max_load_seen,
+            min_empty_seen=min_empty_seen,
             cover_time=cover,
             ball_cover_times=ball_cover,
             moves=moves,

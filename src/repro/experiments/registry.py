@@ -1,4 +1,4 @@
-"""Registry of every experiment (E1–E15) and ablation (A1–A3).
+"""Registry of every experiment (E1–E16) and ablation (A1–A3).
 
 Each entry pairs an :class:`~repro.experiments.spec.ExperimentSpec` (claim,
 default parameters, expected shape) with a runner function.  Default
@@ -297,6 +297,33 @@ register(
         expected_shape="stable (logarithmic max load) for lambda away from 1; blows up as lambda -> 1",
     ),
     ext_defs.run_e15_leaky_bins,
+)
+
+register(
+    ExperimentSpec(
+        experiment_id="E16",
+        title="Graph-walk ensembles: trajectories across topologies at scale",
+        claim="Section 5 (general graphs), ensemble scale",
+        default_params={
+            "topologies": [
+                "complete:256",
+                "hypercube:8",
+                "random_regular:256:4",
+                "torus:16x16",
+                "cycle:256",
+                "star:256",
+            ],
+            "trials": 4,
+            "rounds_factor": 2.0,
+            "observe_every": 8,
+            "engine": "batched",
+        },
+        expected_shape=(
+            "expanding topologies stay near log n; ring/torus accumulate more; "
+            "the star is hub-dominated with ~all other nodes empty"
+        ),
+    ),
+    ext_defs.run_e16_graph_ensembles,
 )
 
 register(

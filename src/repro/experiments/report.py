@@ -46,6 +46,19 @@ _REPORT_PARAMS: Dict[str, dict] = {
     },
     "E14": {"mc_sizes": [2, 4, 8], "mc_trials": 10000},
     "E15": {"n": 256, "lams": [0.5, 0.75, 0.9, 0.99], "trials": 5, "rounds_factor": 8.0},
+    "E16": {
+        "topologies": [
+            "complete:256",
+            "hypercube:8",
+            "random_regular:256:4",
+            "torus:16x16",
+            "cycle:256",
+            "star:256",
+        ],
+        "trials": 8,
+        "rounds_factor": 4.0,
+        "observe_every": 8,
+    },
     "A1": {
         "n": 128,
         "disciplines": ["fifo", "lifo", "random", "smallest_id"],

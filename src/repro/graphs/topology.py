@@ -48,6 +48,11 @@ class Topology:
         self._offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(self._degrees, out=self._offsets[1:])
         self._neighbors = np.concatenate(lists)
+        self._regular_degree: Optional[int] = (
+            int(self._degrees[0])
+            if bool(np.all(self._degrees == self._degrees[0]))
+            else None
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -65,12 +70,12 @@ class Topology:
     @property
     def is_regular(self) -> bool:
         """Whether every node has the same degree."""
-        return bool(np.all(self._degrees == self._degrees[0]))
+        return self._regular_degree is not None
 
     @property
     def degree(self) -> Optional[int]:
         """The common degree for regular graphs, ``None`` otherwise."""
-        return int(self._degrees[0]) if self.is_regular else None
+        return self._regular_degree
 
     def neighbors_of(self, node: int) -> np.ndarray:
         """Neighbor array of one node (copy)."""
@@ -78,6 +83,20 @@ class Topology:
             raise GraphError(f"node {node} out of range [0, {self._n})")
         start, stop = self._offsets[node], self._offsets[node + 1]
         return np.array(self._neighbors[start:stop], copy=True)
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The flat CSR adjacency as read-only ``(neighbors, offsets)`` views.
+
+        ``neighbors`` holds every adjacency entry consecutively and
+        ``offsets`` (length ``n + 1``) delimits node ``u``'s slice —
+        the representation the batched walk engines and the native kernel
+        consume directly.
+        """
+        neighbors = self._neighbors.view()
+        neighbors.setflags(write=False)
+        offsets = self._offsets.view()
+        offsets.setflags(write=False)
+        return neighbors, offsets
 
     def edge_list(self) -> List[Tuple[int, int]]:
         """All (u, v) adjacency pairs, including both directions and self-loops."""
@@ -89,16 +108,28 @@ class Topology:
 
     # ------------------------------------------------------------------
     def sample_neighbors(self, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Vectorized: one uniform random neighbor for every node in ``nodes``."""
+        """Vectorized: one uniform random neighbor for every node in ``nodes``.
+
+        Regular graphs take a gather-free path (``offsets[u]`` is exactly
+        ``u * degree``); both paths consume the generator identically
+        (``rng.random(len(nodes))``), so the choice is invisible to
+        stream-equality.
+        """
         nodes = np.asarray(nodes, dtype=np.int64)
+        if self._regular_degree is not None:
+            degree = self._regular_degree
+            picks = (rng.random(nodes.size) * degree).astype(np.int64)
+            # guard against the (measure-zero) event rng.random() == 1.0
+            np.minimum(picks, degree - 1, out=picks)
+            return self._neighbors[nodes * degree + picks]
         degrees = self._degrees[nodes]
         picks = (rng.random(nodes.size) * degrees).astype(np.int64)
-        # guard against the (measure-zero) event rng.random() == 1.0 exactly
         np.minimum(picks, degrees - 1, out=picks)
         return self._neighbors[self._offsets[nodes] + picks]
 
     def is_connected(self) -> bool:
-        """Breadth-first connectivity check (ignoring self-loops)."""
+        """Depth-first connectivity check (stack-based DFS; self-loops are
+        harmless — they only re-discover already-seen nodes)."""
         seen = np.zeros(self._n, dtype=bool)
         stack = [0]
         seen[0] = True

@@ -1,0 +1,201 @@
+/* Native batched kernel for topology-constrained parallel random walks.
+ *
+ * Advances an (R, n) ensemble of independent walk replicas over one shared
+ * CSR topology for a given number of rounds entirely in C.  Per round and
+ * per active replica, either every non-empty node forwards one token to a
+ * uniformly random neighbor (constrained mode — the paper's process on a
+ * general graph) or every token moves independently (unconstrained mode).
+ * Window metrics (max load, min empty-node count, first legitimate round)
+ * and the per-replica early stop on legitimacy are maintained in-kernel so
+ * a whole `run()` costs a single FFI call.
+ *
+ * Randomness: each replica owns an independent xoshiro256++ stream whose
+ * 4-word state is seeded by the caller (from a numpy SeedSequence), exactly
+ * like rbb_kernel.c.  Neighbor picks use Lemire's unbiased bounded-integer
+ * reduction with per-node rejection thresholds precomputed by the caller;
+ * two 32-bit lanes are taken from each 64-bit draw, and the lane buffer is
+ * reset at every round boundary so segmented runs (observation strides)
+ * follow the exact same trajectory as whole-window runs.
+ *
+ * Compiled on demand by repro.core.native via the system C compiler; the
+ * pure-numpy kernel in repro.graphs.batched is the semantic reference.
+ */
+
+#include <stdint.h>
+
+static inline uint64_t rotl64(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+typedef struct {
+    uint64_t s[4];
+} rng_t;
+
+/* xoshiro256++ (Blackman & Vigna, public domain reference implementation) */
+static inline uint64_t next64(rng_t *g)
+{
+    uint64_t *s = g->s;
+    const uint64_t result = rotl64(s[0] + s[3], 23) + s[0];
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl64(s[3], 45);
+    return result;
+}
+
+/* Two 32-bit lanes per 64-bit draw, reset at every round boundary. */
+typedef struct {
+    rng_t *g;
+    uint64_t buf;
+    int have;
+} lanes_t;
+
+static inline uint32_t lane32(lanes_t *L)
+{
+    if (L->have) {
+        L->have = 0;
+        return (uint32_t)(L->buf >> 32);
+    }
+    L->buf = next64(L->g);
+    L->have = 1;
+    return (uint32_t)L->buf;
+}
+
+/* Unbiased pick in [0, d) via Lemire's reduction; lim = (2^32 - d) % d is
+ * precomputed per node by the caller. */
+static inline uint32_t bounded(lanes_t *L, uint32_t d, uint32_t lim)
+{
+    for (;;) {
+        const uint64_t m = (uint64_t)lane32(L) * d;
+        if ((uint32_t)m >= lim)
+            return (uint32_t)(m >> 32);
+    }
+}
+
+/* Advance the walk ensemble.
+ *
+ * loads          (R, n) int32, C-contiguous, mutated in place
+ * neighbors      (E,)  int32 CSR flat adjacency (shared by all replicas)
+ * offsets        (n+1,) int64 CSR row offsets
+ * degrees        (n,)  int32 per-node degree (offsets[i+1] - offsets[i])
+ * lims           (n,)  uint32 Lemire rejection thresholds (2^32 - d) % d
+ * rng_state      (R, 4) uint64 xoshiro256++ states, mutated in place
+ * threshold      legitimacy threshold beta * log(n)
+ * constrained    1: one token per non-empty node per round; 0: every token
+ * max_seen       (R,) int32 running window maximum, updated in place
+ * min_empty_seen (R,) int32 running window minimum of the empty-node count
+ * first_legit    (R,) int64, -1 until the replica first becomes legitimate
+ * rounds_done    (R,) int64 global per-replica round counters
+ * active         (R,) uint8, replicas with 0 are frozen and skipped
+ * scratch        (n,) int32 arrivals buffer, all-zero on entry and on exit
+ * sources        (n,) int32 scratch for the non-empty-node index list
+ */
+void walks_run(int32_t *loads, int64_t R, int64_t n,
+               const int32_t *neighbors, const int64_t *offsets,
+               const int32_t *degrees, const uint32_t *lims,
+               int64_t rounds, uint64_t *rng_state, double threshold,
+               int stop_when_legitimate, int constrained,
+               int32_t *max_seen, int32_t *min_empty_seen,
+               int64_t *first_legit, int64_t *rounds_done, uint8_t *active,
+               int32_t *scratch, int32_t *sources)
+{
+    const int32_t thr = (int32_t)threshold;
+
+    for (int64_t t = 0; t < rounds; t++) {
+        int any_active = 0;
+        for (int64_t r = 0; r < R; r++) {
+            if (!active[r])
+                continue;
+            any_active = 1;
+            int32_t *row = loads + r * n;
+            rng_t *g = (rng_t *)(rng_state + 4 * r);
+            lanes_t L = {g, 0, 0};
+
+            if (constrained) {
+                /* departures: one token per non-empty node.  A SIMD-
+                 * friendly count first, then the path that fits the
+                 * density: for sparse rows a guarded loop's branch is
+                 * almost always not-taken (predicts perfectly); for dense
+                 * rows a branchless compaction (conditional write-cursor
+                 * increment) avoids mispredicting the random nonempty
+                 * pattern, and the draw loop touches only the cnt
+                 * non-empty nodes. */
+                int64_t cnt = 0;
+                for (int64_t i = 0; i < n; i++)
+                    cnt += (row[i] > 0);
+                if (cnt * 8 < n) { /* sparse */
+                    for (int64_t i = 0; i < n; i++) {
+                        if (row[i] > 0) {
+                            row[i]--;
+                            const uint32_t d = (uint32_t)degrees[i];
+                            const int64_t off = offsets[i];
+                            const int64_t k =
+                                d == 1 ? 0 : (int64_t)bounded(&L, d, lims[i]);
+                            scratch[neighbors[off + k]]++;
+                        }
+                    }
+                } else { /* dense */
+                    int64_t w = 0;
+                    for (int64_t i = 0; i < n; i++) {
+                        const int32_t ne = row[i] > 0;
+                        sources[w] = (int32_t)i;
+                        w += ne;
+                        row[i] -= ne;
+                    }
+                    for (int64_t s = 0; s < cnt; s++) {
+                        const int64_t i = sources[s];
+                        const uint32_t d = (uint32_t)degrees[i];
+                        const int64_t off = offsets[i];
+                        const int64_t k =
+                            d == 1 ? 0 : (int64_t)bounded(&L, d, lims[i]);
+                        scratch[neighbors[off + k]]++;
+                    }
+                }
+            } else {
+                /* every token moves independently */
+                for (int64_t i = 0; i < n; i++) {
+                    const int32_t l = row[i];
+                    if (l > 0) {
+                        row[i] = 0;
+                        const uint32_t d = (uint32_t)degrees[i];
+                        const int64_t off = offsets[i];
+                        const uint32_t lim = lims[i];
+                        for (int32_t b = 0; b < l; b++) {
+                            const int64_t k =
+                                d == 1 ? 0 : (int64_t)bounded(&L, d, lim);
+                            scratch[neighbors[off + k]]++;
+                        }
+                    }
+                }
+            }
+
+            /* arrivals + metrics of the new configuration */
+            int32_t mx = 0;
+            int64_t empty = 0;
+            for (int64_t i = 0; i < n; i++) {
+                const int32_t l = row[i] + scratch[i];
+                row[i] = l;
+                scratch[i] = 0;
+                if (l > mx)
+                    mx = l;
+                empty += (l == 0);
+            }
+            rounds_done[r]++;
+            if (mx > max_seen[r])
+                max_seen[r] = mx;
+            if ((int32_t)empty < min_empty_seen[r])
+                min_empty_seen[r] = (int32_t)empty;
+            if (first_legit[r] < 0 && mx <= thr) {
+                first_legit[r] = rounds_done[r];
+                if (stop_when_legitimate)
+                    active[r] = 0;
+            }
+        }
+        if (!any_active)
+            break;
+    }
+}

@@ -22,8 +22,8 @@ import numpy as np
 
 from .topology import Topology
 from ..core.config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
-from ..core.observers import ObserverList
 from ..errors import ConfigurationError
+from ..metrics.base import BatchedObserverList, as_load_matrix
 from ..rng import as_generator
 from ..types import LoadVector, SeedLike
 
@@ -39,11 +39,13 @@ class GraphWalkResult:
     rounds:
         Rounds simulated in this call.
     max_load_seen:
-        Window maximum load over the call.
+        Window maximum load, seeded from the configuration at call time
+        (so zero-round calls report the observed max, never 0).
     final_configuration:
         Loads after the last round.
     min_empty_nodes_seen:
-        Smallest per-round count of token-free nodes.
+        Smallest count of token-free nodes, seeded from the configuration
+        at call time.
     """
 
     rounds: int
@@ -112,6 +114,13 @@ class ConstrainedParallelWalks:
         return self._topology.num_nodes
 
     @property
+    def n_bins(self) -> int:
+        """Alias of :attr:`num_nodes` — the load-process spelling, so the
+        shared window loop and the ensemble engine treat a walk like any
+        other single-replica load process."""
+        return self._topology.num_nodes
+
+    @property
     def n_tokens(self) -> int:
         return self._n_tokens
 
@@ -163,15 +172,37 @@ class ConstrainedParallelWalks:
         self._round += 1
         return self.loads
 
-    def run(self, rounds: int, observers=None) -> GraphWalkResult:
-        """Simulate ``rounds`` rounds collecting the standard load metrics."""
+    def run(self, rounds: int, observers=None, observe_every: int = 1) -> GraphWalkResult:
+        """Simulate ``rounds`` rounds collecting the standard load metrics.
+
+        Parameters
+        ----------
+        rounds:
+            Number of rounds for this call.
+        observers:
+            ``None``, a single observer/callable, or a sequence of them,
+            coerced through the unified
+            :class:`~repro.metrics.base.BatchedObserverList` pipeline —
+            the same trackers that attach to the batched engine attach
+            here, seeing the state as a ``(1, n)`` load matrix.
+        observe_every:
+            Observation stride: observers fire every ``observe_every``
+            executed rounds (and after the final one).  Window statistics
+            stay exact at any stride.
+
+        The window statistics are seeded from the *current* configuration,
+        so a zero-round call (or a call on a pre-loaded state) reports the
+        observed max load and empty-node count rather than zeros.
+        """
         if rounds < 0:
             raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
-        obs = ObserverList.coerce(observers)
-        # window statistics cover the rounds simulated by this call only (the
-        # caller can read the pre-existing state directly if it needs it)
-        max_load_seen = 0
-        min_empty = self.num_nodes
+        if observe_every < 1:
+            raise ConfigurationError(
+                f"observe_every must be >= 1, got {observe_every}"
+            )
+        obs = BatchedObserverList.coerce(observers)
+        max_load_seen = int(self._loads.max()) if self._loads.size else 0
+        min_empty = int(np.count_nonzero(self._loads == 0))
         executed = 0
         for _ in range(rounds):
             loads = self.step()
@@ -182,8 +213,10 @@ class ConstrainedParallelWalks:
             empties = int(np.count_nonzero(loads == 0))
             if empties < min_empty:
                 min_empty = empties
-            if not obs.is_empty:
-                obs.observe(self._round, loads)
+            if not obs.is_empty and (
+                executed % observe_every == 0 or executed == rounds
+            ):
+                obs.observe(self._round, as_load_matrix(loads))
         return GraphWalkResult(
             rounds=executed,
             max_load_seen=max_load_seen,

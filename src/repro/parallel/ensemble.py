@@ -20,7 +20,7 @@ declaratively (process family, size, start family, budget, early stop);
     batched engine and for workloads that are not pure load-vector
     ensembles.
 
-Three process families are supported through the ``process`` selector:
+Four process families are supported through the ``process`` selector:
 
 ``"rbb"`` (default)
     The plain 1-choice repeated balls-into-bins process.
@@ -36,6 +36,17 @@ Three process families are supported through the ``process`` selector:
     ``max_load_seen`` window includes the initial and post-fault
     configurations (the adversarial spikes are the quantity of interest),
     whereas the other families track post-step configurations only.
+``"graph_walks"``
+    The Section 5 generalization: topology-constrained parallel random
+    walks on the graph named by ``spec.topology`` (a JSON-scalar spec
+    string like ``"torus:32x32"`` resolved through
+    :func:`repro.graphs.generators.resolve_topology`; the shared CSR
+    topology is built once per worker and cached).  ``spec.constrained``
+    selects the paper's one-token-per-node mode (default) or the
+    every-token-moves comparison process.  Batched execution runs
+    :class:`~repro.graphs.batched.BatchedConstrainedWalks`; sequential
+    runs one :class:`~repro.graphs.walks.ConstrainedParallelWalks` per
+    trial, stream-equal to the batched engine at ``R == 1``.
 
 Both engines return the same :class:`~repro.core.batched.EnsembleResult`
 schema, so callers are engine-agnostic.  Results are deterministic for a
@@ -63,7 +74,6 @@ Example
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -84,6 +94,9 @@ from ..core.batched import (
 from ..core.config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
 from ..core.process import RepeatedBallsIntoBins
 from ..errors import ConfigurationError
+from ..graphs.batched import BatchedConstrainedWalks
+from ..graphs.generators import parse_topology_spec, resolve_topology
+from ..graphs.walks import ConstrainedParallelWalks
 from ..metrics.payload import MetricPayload, concatenate_payload_maps
 from ..metrics.registry import build_trackers, normalize_metric_names
 from ..metrics.window import SingleReplicaView, run_replica_window, run_window
@@ -96,7 +109,7 @@ __all__ = ["EnsembleSpec", "run_ensemble", "ENGINES", "PROCESSES"]
 ENGINES = ("auto", "batched", "sequential")
 
 #: Process families accepted by :class:`EnsembleSpec`.
-PROCESSES = ("rbb", "d_choices", "faulty")
+PROCESSES = ("rbb", "d_choices", "faulty", "graph_walks")
 
 StartLike = Union[str, LoadConfiguration, np.ndarray]
 
@@ -128,8 +141,9 @@ class EnsembleSpec:
         first simulated round.
     process:
         Process family: ``"rbb"`` (plain repeated balls-into-bins),
-        ``"d_choices"`` (repeated Greedy[d]), or ``"faulty"`` (plain
-        process under the Section 4.1 adversary).
+        ``"d_choices"`` (repeated Greedy[d]), ``"faulty"`` (plain
+        process under the Section 4.1 adversary), or ``"graph_walks"``
+        (topology-constrained parallel walks on ``topology``).
     d:
         Candidate bins per placement for ``process="d_choices"`` (ignored
         otherwise).
@@ -139,6 +153,19 @@ class EnsembleSpec:
         Periodic fault schedule for ``process="faulty"``: one fault every
         ``fault_period`` rounds starting at ``fault_offset`` (defaults to
         the period).  ``fault_period=None`` means no faults.
+    topology:
+        Topology spec string for ``process="graph_walks"`` — a JSON
+        scalar like ``"cycle:256"``, ``"torus:32x32"``,
+        ``"hypercube:10"``, ``"random_regular:1024:8"``, or
+        ``"star:256"`` (see
+        :func:`repro.graphs.generators.parse_topology_spec`).  Validated
+        at construction time, including that its node count equals
+        ``n_bins``; must be ``None`` for the other process families.
+    constrained:
+        Walk mode for ``process="graph_walks"``: ``True`` (default)
+        forwards one token per non-empty node per round (the paper's
+        model), ``False`` moves every token independently (the
+        no-queueing comparison process).  Ignored otherwise.
     metrics:
         Observed metrics collected during the run, as validated names from
         :data:`repro.metrics.METRIC_NAMES` — a sequence, or a
@@ -166,6 +193,8 @@ class EnsembleSpec:
     adversary: str = "concentrate"
     fault_period: Optional[int] = None
     fault_offset: Optional[int] = None
+    topology: Optional[str] = None
+    constrained: bool = True
     metrics: Union[str, Sequence[str], Tuple[str, ...]] = ()
     observe_every: int = 1
 
@@ -212,6 +241,24 @@ class EnsembleSpec:
                     "warmup_rounds is not supported for the faulty process "
                     "(the fault schedule counts from the first round)"
                 )
+        if self.process == "graph_walks":
+            if self.topology is None:
+                raise ConfigurationError(
+                    "process='graph_walks' requires a topology spec, e.g. "
+                    "topology='torus:32x32' (see repro.graphs.generators)"
+                )
+            parsed = parse_topology_spec(self.topology)
+            if parsed.num_nodes != self.n_bins:
+                raise ConfigurationError(
+                    f"topology {self.topology!r} has {parsed.num_nodes} "
+                    f"nodes but the spec says n_bins={self.n_bins}; they "
+                    "must agree (n_bins keys aggregation and the store)"
+                )
+        elif self.topology is not None:
+            raise ConfigurationError(
+                f"topology={self.topology!r} is only meaningful for "
+                "process='graph_walks'"
+            )
 
     def fault_schedule(self) -> FaultSchedule:
         """The :class:`FaultSchedule` described by the fault fields."""
@@ -271,31 +318,6 @@ def _spec_trackers(spec: EnsembleSpec, n_replicas: int) -> List[tuple]:
     return trackers
 
 
-def _window_record(process, spec: EnsembleSpec, num_empty) -> dict:
-    """Deprecated shim over :func:`repro.metrics.window.run_replica_window`.
-
-    The hand-rolled window loop that used to live here is gone; the shared
-    implementation in :mod:`repro.metrics.window` drives every engine now.
-    ``num_empty`` is ignored (empty-bin counts are derived from the load
-    vector directly).  This wrapper — and its sibling helpers — will be
-    removed one release after the :mod:`repro.metrics` refactor.
-    """
-    warnings.warn(
-        "_window_record is deprecated; use "
-        "repro.metrics.window.run_replica_window (the shared window loop) "
-        "instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run_replica_window(
-        process,
-        spec.rounds,
-        beta=spec.beta,
-        stop_when_legitimate=spec.stop_when_legitimate,
-        warmup_rounds=spec.warmup_rounds,
-    )
-
-
 def _sequential_ensemble_trial(trial_index, seed, spec: EnsembleSpec) -> dict:
     init_seq, sim_seq = seed.spawn(2)
     initial = _replica_initial(spec, trial_index, init_seq)
@@ -309,6 +331,13 @@ def _sequential_ensemble_trial(trial_index, seed, spec: EnsembleSpec) -> dict:
         if spec.process == "d_choices":
             process = DChoicesProcess(
                 spec.n_bins, d=spec.d, initial=initial, seed=rng
+            )
+        elif spec.process == "graph_walks":
+            process = ConstrainedParallelWalks(
+                resolve_topology(spec.topology),
+                initial=initial,
+                constrained=spec.constrained,
+                seed=rng,
             )
         else:
             process = RepeatedBallsIntoBins(
@@ -432,6 +461,16 @@ def _make_batched_process(
             n_balls=n_balls,
             initial=initial,
             seed=seed,
+        )
+    if spec.process == "graph_walks":
+        return BatchedConstrainedWalks(
+            resolve_topology(spec.topology),
+            n_replicas,
+            n_tokens=n_balls,
+            initial=initial,
+            constrained=spec.constrained,
+            seed=seed,
+            kernel=kernel,
         )
     return BatchedRepeatedBallsIntoBins(
         spec.n_bins,

@@ -23,6 +23,7 @@ from .catalog import (
     e9_sweep_spec,
     fault_period_for_gamma,
     get_sweep,
+    graph_topologies_sweep_spec,
     smoke_sweep_spec,
 )
 from .plan import SweepPlan, SweepPoint, expand_sweep, point_id_of
@@ -43,6 +44,7 @@ __all__ = [
     "a2_sweep_spec",
     "e9_sweep_spec",
     "fault_period_for_gamma",
+    "graph_topologies_sweep_spec",
     "smoke_sweep_spec",
     "get_sweep",
     "available_sweeps",

@@ -24,16 +24,30 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .spec import SweepSpec
 from ..errors import ConfigurationError
+from ..graphs.generators import parse_topology_spec
 
 __all__ = [
     "a2_sweep_spec",
     "e9_sweep_spec",
     "fault_period_for_gamma",
+    "graph_topologies_sweep_spec",
     "smoke_sweep_spec",
     "trajectories_sweep_spec",
     "get_sweep",
     "available_sweeps",
 ]
+
+#: Default topology family of the graph-walks sweep/experiment: one spec
+#: per catalogued generator, all with 256 nodes so the trajectories are
+#: directly comparable.
+DEFAULT_GRAPH_TOPOLOGIES = (
+    "complete:256",
+    "hypercube:8",
+    "random_regular:256:4",
+    "torus:16x16",
+    "cycle:256",
+    "star:256",
+)
 
 
 def fault_period_for_gamma(gamma: Optional[float], n: int) -> Optional[int]:
@@ -184,9 +198,56 @@ def trajectories_sweep_spec(
     )
 
 
+def graph_topologies_sweep_spec(
+    topologies: Sequence[str] = DEFAULT_GRAPH_TOPOLOGIES,
+    trials: int = 8,
+    rounds_factor: float = 4.0,
+    observe_every: int = 8,
+    constrained: bool = True,
+) -> SweepSpec:
+    """Graph-walks sweep: max-load / empty-node trajectories per topology.
+
+    One point per topology spec string; the round budget scales with the
+    topology's node count (computed statically by
+    :func:`~repro.graphs.generators.parse_topology_spec`), so the family
+    is an explicit point list.  Every point collects the observed
+    ``max_load`` and ``empty_bins`` series through the unified observer
+    layer, which is what the cross-topology trajectory comparison (and
+    experiment E16) consumes.
+    """
+    points = _deduped(
+        [
+            {
+                "topology": str(spec),
+                "n_bins": parse_topology_spec(spec).num_nodes,
+                "rounds": max(
+                    int(rounds_factor * parse_topology_spec(spec).num_nodes), 1
+                ),
+            }
+            for spec in topologies
+        ]
+    )
+    return SweepSpec(
+        name="graph_topologies",
+        description=(
+            "constrained parallel walks across topologies: observed "
+            "max-load/empty-node trajectories (Section 5 open question)"
+        ),
+        base={
+            "n_replicas": int(trials),
+            "process": "graph_walks",
+            "constrained": bool(constrained),
+            "metrics": "max_load,empty_bins",
+            "observe_every": int(observe_every),
+        },
+        points=points,
+    )
+
+
 _CATALOG: Dict[str, Callable[[], SweepSpec]] = {
     "a2_d_choices": a2_sweep_spec,
     "e9_adversarial": e9_sweep_spec,
+    "graph_topologies": graph_topologies_sweep_spec,
     "smoke": smoke_sweep_spec,
     "trajectories": trajectories_sweep_spec,
 }

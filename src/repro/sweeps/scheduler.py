@@ -88,7 +88,7 @@ def _coerce_store(store: StoreLike) -> ResultStore:
     return ResultStore.create(path)
 
 
-def _resolve_kernel(kernel: str) -> str:
+def _resolve_kernel(kernel: str, plan: SweepPlan) -> str:
     """Resolve ``"auto"`` to the kernel this environment will actually use.
 
     The numpy and native kernels draw different random streams, so the
@@ -96,10 +96,25 @@ def _resolve_kernel(kernel: str) -> str:
     environment that would resolve ``"auto"`` differently must fail the
     header check (and the pinned explicit kernel then fails loudly in
     ``run_ensemble``) instead of silently mixing streams.
+
+    Resolution consults the compiled kernels the plan's process families
+    actually dispatch to (``"rbb"`` for the balls-into-bins updates,
+    ``"walks"`` for the graph walks): ``"native"`` is pinned only when
+    every required kernel is available, matching the silent per-process
+    fallback ``kernel="auto"`` performs everywhere else.
     """
-    if kernel == "auto":
-        return "native" if native_available() else "numpy"
-    return kernel
+    if kernel != "auto":
+        return kernel
+    required = set()
+    for point in plan:
+        process = point.config.get("process", "rbb")
+        if process in ("rbb", "faulty"):
+            required.add("rbb")
+        elif process == "graph_walks":
+            required.add("walks")
+    if required and all(native_available(name) for name in required):
+        return "native"
+    return "numpy"
 
 
 def _header(
@@ -156,8 +171,8 @@ def run_sweep(
             f"max_points must be >= 0, got {max_points}"
         )
     started = time.perf_counter()
-    kernel = _resolve_kernel(kernel)
     plan = expand_sweep(spec)
+    kernel = _resolve_kernel(kernel, plan)
     result_store = _coerce_store(store)
     header = _header(spec, seed, engine, kernel, n_workers)
     result_store.write_header(header)

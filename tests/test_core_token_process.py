@@ -191,3 +191,36 @@ class TestRun:
         result = process.run(30)
         assert result.min_moves == int(process.moves.min())
         assert result.max_load_seen >= 1
+
+    def test_min_empty_seen_tracks_window_minimum(self):
+        # start from all_in_one (15 empty bins) so the per-round tracking is
+        # actually exercised: mixing *reduces* the empty count round by round
+        initial = LoadConfiguration.all_in_one(16)
+        process = TokenRepeatedBallsIntoBins(16, initial=initial, seed=3)
+        seen = []
+        result = process.run(
+            40, observers=lambda t, loads: seen.append(int((loads == 0).sum()))
+        )
+        assert result.min_empty_seen == min([15] + seen)
+        assert result.min_empty_seen < 15  # the seed alone is not the answer
+
+    def test_min_empty_seen_seeded_from_current_state_zero_rounds(self):
+        # the window-stat bug class fixed in PR 4/5: a zero-round call must
+        # report the observed configuration, not the n_bins sentinel
+        initial = LoadConfiguration.all_in_one(8)
+        process = TokenRepeatedBallsIntoBins(8, initial=initial, seed=0)
+        result = process.run(0)
+        assert result.rounds == 0
+        assert result.max_load_seen == 8
+        assert result.min_empty_seen == 7
+
+    def test_min_empty_seen_seeded_from_preloaded_state(self):
+        # a second run() call starts its window from the mixed state the
+        # first call left behind, never from the pristine constructor state
+        process = TokenRepeatedBallsIntoBins(16, seed=9)
+        process.run(30)
+        start_empty = process.num_empty_bins
+        start_max = process.max_load
+        result = process.run(5)
+        assert result.min_empty_seen <= start_empty
+        assert result.max_load_seen >= start_max

@@ -111,6 +111,44 @@ class TestRun:
         )
         assert calls == [1, 2, 3, 4, 5]
 
+    def test_observer_sees_load_matrix_at_stride(self):
+        # walks.run drives the unified (R, n) observer pipeline: batched
+        # trackers attach unchanged, and observe_every thins the stream
+        # (the final round is always observed)
+        shapes = []
+        calls = []
+        ConstrainedParallelWalks(cycle_graph(8), seed=0).run(
+            10,
+            observers=lambda t, loads: (calls.append(t), shapes.append(loads.shape)),
+            observe_every=4,
+        )
+        assert calls == [4, 8, 10]
+        assert shapes == [(1, 8)] * 3
+
+    def test_zero_round_run_reports_observed_state(self):
+        # regression (PR 4's window-stat bug class): max_load_seen used to
+        # start at 0 and min_empty at n, so a zero-round call lied
+        initial = LoadConfiguration.all_in_one(8)
+        walks = ConstrainedParallelWalks(cycle_graph(8), initial=initial, seed=0)
+        result = walks.run(0)
+        assert result.rounds == 0
+        assert result.max_load_seen == 8
+        assert result.min_empty_nodes_seen == 7
+
+    def test_preloaded_state_seeds_the_window(self):
+        # a heavily loaded hub must show up in the window even if the first
+        # simulated round already disperses it
+        initial = LoadConfiguration.all_in_one(16)
+        walks = ConstrainedParallelWalks(complete_graph(16), initial=initial, seed=1)
+        result = walks.run(64)
+        assert result.max_load_seen == 16  # the starting configuration
+        # second call: the window restarts from the current (mixed) state
+        start_max = walks.max_load
+        start_empty = walks.num_empty_nodes
+        again = walks.run(3)
+        assert again.max_load_seen >= start_max
+        assert again.min_empty_nodes_seen <= start_empty
+
     def test_ring_accumulates_more_than_clique(self):
         """The Section 5 phenomenon at small scale: over the same window the
         ring shows at least as much congestion as the clique (usually more)."""

@@ -40,7 +40,7 @@ from repro.metrics import (
     summarize_payloads,
 )
 from repro.parallel.aggregate import aggregate_ensemble
-from repro.parallel.ensemble import EnsembleSpec, _window_record, run_ensemble
+from repro.parallel.ensemble import EnsembleSpec, run_ensemble
 from repro.store import ResultStore
 from repro.sweeps import SweepSpec, run_sweep
 
@@ -421,17 +421,12 @@ class TestPreCheckReportsObservedValue:
         assert (result.rounds > 0).all()
         assert (result.max_load_seen > 0).all()
 
-    def test_window_record_shim_warns_and_delegates(self):
-        process = RepeatedBallsIntoBins(64, seed=7)
-        spec = EnsembleSpec(
-            n_bins=64, n_replicas=1, rounds=0, stop_when_legitimate=True
-        )
-        with pytest.warns(DeprecationWarning, match="run_replica_window"):
-            record = _window_record(process, spec, lambda: 0)
-        # balanced start is legitimate: pre-check path, observed max is 1
-        assert record["rounds"] == 0
-        assert record["window_max_load"] == 1
-        assert record["min_empty_bins"] == 0
+    def test_window_record_shim_removed(self):
+        # the PR-4 deprecation shim was scheduled for exactly one release;
+        # the shared loop in repro.metrics.window is the only spelling now
+        import repro.parallel.ensemble as ensemble_module
+
+        assert not hasattr(ensemble_module, "_window_record")
 
     def test_run_replica_window_matches_process_run(self):
         a = RepeatedBallsIntoBins(32, seed=8)
