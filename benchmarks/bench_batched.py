@@ -1,374 +1,386 @@
-"""Throughput benchmark: batched ensembles vs per-trial sequential execution.
+"""Throughput benchmark: threaded native kernels vs per-trial sequential.
 
-Three scenarios cover the three batched process families at the acceptance
-scale of ``R = 256`` replicas and ``n = 1024`` bins:
+The acceptance scale is ``R = 4096`` replicas and ``n = 1024`` bins for the
+compiled kernels.  Per-trial sequential execution is embarrassingly linear
+in the replica count, so its baseline is *sampled* at a small replica count
+(``R = 64`` at full scale) and extrapolated linearly — timing 4096 Python
+replicas directly would add minutes of wall clock without changing the
+answer.
 
-``plain``
-    The repeated balls-into-bins process over 2000 rounds.  The native
-    batched kernel must be at least 10x faster than per-trial sequential
-    execution; the pure-numpy batched kernel must still beat sequential.
+Scenarios:
+
+``rbb`` (plain)
+    The repeated balls-into-bins process over 2000 rounds through the
+    threaded native kernel.  Headline target: **100x** over per-trial
+    sequential execution.  The kernel parallelizes across replicas, so the
+    target is pro-rated on small machines: the enforced floor is
+    ``min(100, 12.5 * visible_cores)`` — a box with >= 8 cores must deliver
+    the full 100x, a 1-core box must still deliver 12.5x single-threaded.
+``rbb_observed``
+    The same run collecting ``max_load`` + ``legitimacy`` at an
+    ``observe_every=16`` stride.  With fused in-kernel observation the
+    per-segment statistics are computed inside the C round loop, so the
+    observed run must hit the *same* pro-rated 100x target as the plain
+    run (observation is no longer a tax).
+``rbb_numpy``
+    The pure-numpy batched kernel, compared at ``R = 256`` (the historic
+    acceptance scale; at ``R = 4096`` the numpy kernel's 32 MB working set
+    thrashes cache and the comparison stops measuring the engine).  It
+    must still beat sequential by 1.2x.
 ``greedy_d``
-    The repeated Greedy[d] allocator (``d = 2``).  Batching turns the
-    Python-level placement loop from ``sum_r h_r`` iterations per round
-    into ``max_r h_r``, so the (numpy-only) batched process must be at
-    least 10x faster than per-trial sequential execution regardless of the
-    native kernel.
+    The repeated Greedy[d] allocator (``d = 2``, numpy-only): >= 10x.
 ``adversarial``
-    The plain process under a periodic concentrate adversary.  Fault
-    injection segments the run between faults, so the native kernel's
-    whole-window speedup carries over: at least 10x over per-trial
-    sequential execution when the native kernel is available.
-``observed``
-    The plain process collecting per-round observed metrics
-    (``metrics="max_load,legitimacy"``) at an ``observe_every=16`` stride
-    through the unified observer layer.  The native kernel executes in
-    16-round segments between observation points, so observed batched
-    runs must retain at least 10x over plain per-trial sequential
-    execution.
+    The plain process under a periodic concentrate adversary; segmented
+    native execution must retain >= 10x.
 ``walks``
-    Topology-constrained parallel walks on the 32x32 torus
-    (``process="graph_walks"``).  The per-trial sequential baseline is
-    already fully vectorized per round, so the pure-numpy batched walks
-    only need to beat it; the compiled walk kernel
-    (``graphs/walk_kernel.c``, one FFI call per run) must be at least
-    10x faster than per-trial sequential execution.
+    Topology-constrained walks on the 32x32 torus.  The threaded walk
+    kernel's floor rises to ``min(50, 10 * visible_cores)`` (was 10x);
+    the numpy batched walks are compared at ``R = 256`` against a 1.2x
+    floor.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_batched.py
 
-or through pytest::
+through pytest::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_batched.py -q
+
+or record the numbers into the committed ledger::
+
+    PYTHONPATH=src python benchmarks/record.py --out benchmarks/BENCH_batched.json
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, List
 
-from repro.core.native import native_available, native_status
+from repro.core.native import (
+    available_cpu_count,
+    native_available,
+    native_status,
+    native_threading,
+)
 from repro.parallel.ensemble import EnsembleSpec, run_ensemble
 
 N_BINS = 1024
-N_REPLICAS = 256
-ROUNDS = 2000
 SEED = 0
-
-#: Rounds for the Greedy[2] scenario (its sequential baseline pays a Python
-#: iteration per ball per replica, so a short window is already conclusive).
-DCHOICES_ROUNDS = 12
-#: Rounds / fault period for the adversarial scenario (4 faults per run).
-FAULTY_ROUNDS = 1000
-FAULT_PERIOD = 250
-#: Rounds / topology for the graph-walks scenario.
-WALKS_ROUNDS = 200
+OBSERVE_EVERY = 16
 WALKS_TOPOLOGY = "torus:32x32"
 
-#: Speedup the native batched kernel must reach over per-trial sequential.
-NATIVE_TARGET = 10.0
-#: The numpy batched kernel must at least beat per-trial sequential.
+#: Headline target for the threaded rbb kernel (plain and observed) at
+#: full scale, and the per-core floor it is pro-rated against on machines
+#: with fewer than 8 visible cores.
+RBB_TARGET = 100.0
+RBB_PER_CORE_FLOOR = 12.5
+#: The threaded walk kernel's raised floor (was 10x) and per-core pro-rate.
+WALKS_TARGET = 50.0
+WALKS_PER_CORE_FLOOR = 10.0
+#: Numpy-kernel comparisons (at the numpy scale) must beat sequential.
 NUMPY_TARGET = 1.2
-#: Batched Greedy[d] / adversarial ensembles must reach 10x as well.
+#: Batched Greedy[2] / adversarial ensembles keep their 10x floors.
 DCHOICES_TARGET = 10.0
 FAULTY_TARGET = 10.0
-#: Observed native runs (metrics collected every OBSERVE_EVERY rounds)
-#: must retain 10x over plain per-trial sequential execution.
-OBSERVED_TARGET = 10.0
-OBSERVE_EVERY = 16
-#: The native walk kernel must reach 10x over per-trial sequential walks;
-#: the numpy batched walks must at least beat sequential.
-WALKS_TARGET = 10.0
-WALKS_NUMPY_TARGET = 1.2
 
 
-def _plain_spec() -> EnsembleSpec:
-    return EnsembleSpec(
-        n_bins=N_BINS, n_replicas=N_REPLICAS, rounds=ROUNDS, start="balanced"
-    )
+def prorated(full_target: float, per_core_floor: float) -> float:
+    """The enforced speedup floor on this machine.
+
+    The native kernels parallelize across replicas, so the headline target
+    assumes cores to run on: ``min(full_target, per_core_floor * cores)``
+    keeps the check honest on small CI boxes while still demanding the
+    full target wherever ``cores >= full_target / per_core_floor``.
+    """
+    return min(full_target, per_core_floor * available_cpu_count())
 
 
-def _dchoices_spec() -> EnsembleSpec:
-    return EnsembleSpec(
-        n_bins=N_BINS,
-        n_replicas=N_REPLICAS,
-        rounds=DCHOICES_ROUNDS,
-        start="balanced",
-        process="d_choices",
-        d=2,
-    )
+@dataclass(frozen=True)
+class Scale:
+    """One benchmark size: full acceptance scale or the CI smoke scale."""
+
+    name: str
+    baseline_replicas: int  #: sequential sample size (extrapolated linearly)
+    native_replicas: int  #: replica count for native-kernel scenarios
+    numpy_replicas: int  #: replica count for numpy-kernel scenarios
+    rounds: int
+    dchoices_rounds: int
+    faulty_rounds: int
+    fault_period: int
+    walks_rounds: int
+    enforce: bool  #: assert the speedup floors (full scale only)
 
 
-def _observed_spec() -> EnsembleSpec:
-    return EnsembleSpec(
-        n_bins=N_BINS,
-        n_replicas=N_REPLICAS,
-        rounds=ROUNDS,
-        start="balanced",
-        metrics="max_load,legitimacy",
-        observe_every=OBSERVE_EVERY,
-    )
+FULL = Scale(
+    name="full",
+    baseline_replicas=64,
+    native_replicas=4096,
+    numpy_replicas=256,
+    rounds=2000,
+    dchoices_rounds=12,
+    faulty_rounds=1000,
+    fault_period=250,
+    walks_rounds=200,
+    enforce=True,
+)
+
+#: Small enough for a CI smoke job: exercises every scenario end to end
+#: and records relative numbers, but asserts no absolute speedups (shared
+#: CI runners make absolute timing meaningless).
+SMOKE = Scale(
+    name="smoke",
+    baseline_replicas=4,
+    native_replicas=64,
+    numpy_replicas=64,
+    rounds=200,
+    dchoices_rounds=4,
+    faulty_rounds=120,
+    fault_period=40,
+    walks_rounds=60,
+    enforce=False,
+)
 
 
-def _faulty_spec() -> EnsembleSpec:
-    return EnsembleSpec(
-        n_bins=N_BINS,
-        n_replicas=N_REPLICAS,
-        rounds=FAULTY_ROUNDS,
-        start="balanced",
-        process="faulty",
-        adversary="concentrate",
-        fault_period=FAULT_PERIOD,
-    )
-
-
-def _walks_spec() -> EnsembleSpec:
-    return EnsembleSpec(
-        n_bins=N_BINS,
-        n_replicas=N_REPLICAS,
-        rounds=WALKS_ROUNDS,
-        start="balanced",
-        process="graph_walks",
-        topology=WALKS_TOPOLOGY,
-    )
+def _spec(scale: Scale, n_replicas: int, process: str = "rbb") -> EnsembleSpec:
+    common = dict(n_bins=N_BINS, n_replicas=n_replicas, start="balanced")
+    if process == "rbb":
+        return EnsembleSpec(rounds=scale.rounds, **common)
+    if process == "rbb_observed":
+        return EnsembleSpec(
+            rounds=scale.rounds,
+            metrics="max_load,legitimacy",
+            observe_every=OBSERVE_EVERY,
+            **common,
+        )
+    if process == "d_choices":
+        return EnsembleSpec(
+            rounds=scale.dchoices_rounds, process="d_choices", d=2, **common
+        )
+    if process == "faulty":
+        return EnsembleSpec(
+            rounds=scale.faulty_rounds,
+            process="faulty",
+            adversary="concentrate",
+            fault_period=scale.fault_period,
+            **common,
+        )
+    if process == "graph_walks":
+        return EnsembleSpec(
+            rounds=scale.walks_rounds,
+            process="graph_walks",
+            topology=WALKS_TOPOLOGY,
+            **common,
+        )
+    raise ValueError(process)
 
 
 def _timed(spec: EnsembleSpec, engine: str, kernel: str = "auto") -> float:
     start = time.perf_counter()
     result = run_ensemble(spec, seed=SEED, engine=engine, kernel=kernel)
     elapsed = time.perf_counter() - start
-    assert result.n_replicas == N_REPLICAS
+    assert result.n_replicas == spec.n_replicas
     assert (result.rounds == spec.rounds).all()
-    return elapsed
+    return max(elapsed, 1e-9)
 
 
-def measure() -> Dict[str, float]:
-    """Time every scenario/engine combination once and derive speedups."""
-    timings: Dict[str, float] = {}
-    plain = _plain_spec()
-    timings["sequential_s"] = _timed(plain, "sequential")
-    timings["batched_numpy_s"] = _timed(plain, "batched", kernel="numpy")
-    timings["numpy_speedup"] = timings["sequential_s"] / timings["batched_numpy_s"]
+def _case(seconds: float, replicas: int, rounds: int, speedup: float) -> dict:
+    return {
+        "seconds": round(seconds, 4),
+        "replica_rounds_per_s": round(replicas * rounds / seconds, 1),
+        "speedup": round(speedup, 2),
+    }
+
+
+def measure(scale: Scale = FULL) -> Dict[str, dict]:
+    """Time every scenario and derive speedups vs extrapolated sequential.
+
+    Returns a ``case name -> {seconds, replica_rounds_per_s, speedup}``
+    mapping (the shape ``benchmarks/record.py`` commits to the ledger).
+    Baseline cases carry ``speedup = 1.0`` and the *sampled* wall clock;
+    their extrapolation factor is ``native_replicas / baseline_replicas``.
+    """
+    cases: Dict[str, dict] = {}
+    base_R = scale.baseline_replicas
+
+    def baseline(process: str, rounds: int) -> float:
+        """Per-replica sequential seconds, from a small sampled run."""
+        sample = _timed(_spec(scale, base_R, process), "sequential")
+        cases[f"{process}_sequential_baseline"] = _case(
+            sample, base_R, rounds, 1.0
+        )
+        return sample / base_R
+
+    # --- repeated balls-into-bins -----------------------------------
+    seq_per_replica = baseline("rbb", scale.rounds)
+    npy = _timed(_spec(scale, scale.numpy_replicas), "batched", "numpy")
+    cases["rbb_numpy"] = _case(
+        npy,
+        scale.numpy_replicas,
+        scale.rounds,
+        seq_per_replica * scale.numpy_replicas / npy,
+    )
     if native_available():
-        timings["batched_native_s"] = _timed(plain, "batched", kernel="native")
-        timings["native_speedup"] = (
-            timings["sequential_s"] / timings["batched_native_s"]
+        nat = _timed(_spec(scale, scale.native_replicas), "batched", "native")
+        cases["rbb_native"] = _case(
+            nat,
+            scale.native_replicas,
+            scale.rounds,
+            seq_per_replica * scale.native_replicas / nat,
         )
-        timings["observed_native_s"] = _timed(
-            _observed_spec(), "batched", kernel="native"
+        obs = _timed(
+            _spec(scale, scale.native_replicas, "rbb_observed"),
+            "batched",
+            "native",
         )
-        timings["observed_speedup"] = (
-            timings["sequential_s"] / timings["observed_native_s"]
+        cases["rbb_native_observed"] = _case(
+            obs,
+            scale.native_replicas,
+            scale.rounds,
+            seq_per_replica * scale.native_replicas / obs,
         )
 
-    dchoices = _dchoices_spec()
-    timings["dchoices_sequential_s"] = _timed(dchoices, "sequential")
-    timings["dchoices_batched_s"] = _timed(dchoices, "batched")
-    timings["dchoices_speedup"] = (
-        timings["dchoices_sequential_s"] / timings["dchoices_batched_s"]
+    # --- Greedy[2] (numpy-only) -------------------------------------
+    d_per_replica = baseline("d_choices", scale.dchoices_rounds)
+    db = _timed(
+        _spec(scale, scale.native_replicas, "d_choices"), "batched"
+    )
+    cases["greedy2_batched"] = _case(
+        db,
+        scale.native_replicas,
+        scale.dchoices_rounds,
+        d_per_replica * scale.native_replicas / db,
     )
 
-    faulty = _faulty_spec()
-    timings["faulty_sequential_s"] = _timed(faulty, "sequential")
-    timings["faulty_batched_s"] = _timed(faulty, "batched")
-    timings["faulty_speedup"] = (
-        timings["faulty_sequential_s"] / timings["faulty_batched_s"]
+    # --- adversarial -------------------------------------------------
+    f_per_replica = baseline("faulty", scale.faulty_rounds)
+    fb = _timed(_spec(scale, scale.native_replicas, "faulty"), "batched")
+    cases["adversarial_batched"] = _case(
+        fb,
+        scale.native_replicas,
+        scale.faulty_rounds,
+        f_per_replica * scale.native_replicas / fb,
     )
 
-    walks = _walks_spec()
-    timings["walks_sequential_s"] = _timed(walks, "sequential")
-    timings["walks_numpy_s"] = _timed(walks, "batched", kernel="numpy")
-    timings["walks_numpy_speedup"] = (
-        timings["walks_sequential_s"] / timings["walks_numpy_s"]
+    # --- graph walks -------------------------------------------------
+    w_per_replica = baseline("graph_walks", scale.walks_rounds)
+    wn = _timed(
+        _spec(scale, scale.numpy_replicas, "graph_walks"), "batched", "numpy"
+    )
+    cases["walks_numpy"] = _case(
+        wn,
+        scale.numpy_replicas,
+        scale.walks_rounds,
+        w_per_replica * scale.numpy_replicas / wn,
     )
     if native_available("walks"):
-        timings["walks_native_s"] = _timed(walks, "batched", kernel="native")
-        timings["walks_native_speedup"] = (
-            timings["walks_sequential_s"] / timings["walks_native_s"]
+        wnat = _timed(
+            _spec(scale, scale.native_replicas, "graph_walks"),
+            "batched",
+            "native",
         )
-    return timings
+        cases["walks_native"] = _case(
+            wnat,
+            scale.native_replicas,
+            scale.walks_rounds,
+            w_per_replica * scale.native_replicas / wnat,
+        )
+    return cases
+
+
+def check_targets(cases: Dict[str, dict]) -> List[str]:
+    """Evaluate the full-scale speedup floors; returns failure messages."""
+    failures: List[str] = []
+
+    def check(name: str, target: float, label: str) -> None:
+        if name not in cases:
+            return
+        speedup = cases[name]["speedup"]
+        if speedup < target:
+            failures.append(
+                f"{label} speedup {speedup:.2f}x < {target:.1f}x target"
+            )
+
+    rbb_floor = prorated(RBB_TARGET, RBB_PER_CORE_FLOOR)
+    walks_floor = prorated(WALKS_TARGET, WALKS_PER_CORE_FLOOR)
+    check("rbb_numpy", NUMPY_TARGET, "plain numpy kernel")
+    check("rbb_native", rbb_floor, "threaded native rbb kernel")
+    check(
+        "rbb_native_observed",
+        rbb_floor,
+        f"fused observed native run (observe_every={OBSERVE_EVERY})",
+    )
+    check("greedy2_batched", DCHOICES_TARGET, "batched Greedy[2]")
+    check("adversarial_batched", FAULTY_TARGET, "batched adversarial")
+    check("walks_numpy", NUMPY_TARGET, "batched numpy walks")
+    check("walks_native", walks_floor, "threaded native walk kernel")
+    return failures
 
 
 def test_batched_engine_speedup():
-    timings = measure()
-    assert timings["numpy_speedup"] >= NUMPY_TARGET, (
-        f"numpy batched kernel slower than expected: "
-        f"{timings['numpy_speedup']:.2f}x < {NUMPY_TARGET}x"
-    )
-    assert timings["dchoices_speedup"] >= DCHOICES_TARGET, (
-        f"batched Greedy[2] below the {DCHOICES_TARGET}x target: "
-        f"{timings['dchoices_speedup']:.2f}x"
-    )
-    if "native_speedup" not in timings:
+    cases = measure(FULL)
+    if "rbb_native" not in cases:
         import pytest
 
         pytest.skip(
-            f"native kernel unavailable ({native_status()}); the {NATIVE_TARGET}x "
-            "plain and adversarial targets require the compiled kernel"
+            f"native kernel unavailable ({native_status()}); the threaded "
+            "speedup targets require the compiled kernels"
         )
-    assert timings["native_speedup"] >= NATIVE_TARGET, (
-        f"native batched kernel below the {NATIVE_TARGET}x target: "
-        f"{timings['native_speedup']:.2f}x"
-    )
-    assert timings["observed_speedup"] >= OBSERVED_TARGET, (
-        f"observed native run (observe_every={OBSERVE_EVERY}) below the "
-        f"{OBSERVED_TARGET}x target: {timings['observed_speedup']:.2f}x"
-    )
-    assert timings["faulty_speedup"] >= FAULTY_TARGET, (
-        f"batched adversarial ensemble below the {FAULTY_TARGET}x target: "
-        f"{timings['faulty_speedup']:.2f}x"
-    )
-    assert timings["walks_numpy_speedup"] >= WALKS_NUMPY_TARGET, (
-        f"batched numpy walks slower than expected: "
-        f"{timings['walks_numpy_speedup']:.2f}x < {WALKS_NUMPY_TARGET}x"
-    )
-    assert "walks_native_speedup" in timings, (
+    assert "walks_native" in cases, (
         "a C compiler is available (the rbb kernel compiled) but the walk "
         f"kernel did not: {native_status('walks')}"
     )
-    assert timings["walks_native_speedup"] >= WALKS_TARGET, (
-        f"native walk kernel below the {WALKS_TARGET}x target: "
-        f"{timings['walks_native_speedup']:.2f}x"
-    )
+    failures = check_targets(cases)
+    assert not failures, "; ".join(failures)
 
 
-def main() -> int:
-    """Print the throughput table and enforce the speedup targets.
+def main(scale: Scale = FULL) -> int:
+    """Print the throughput table and enforce the speedup floors.
 
-    Returns a non-zero exit code when a target is missed, so CI needs only
-    this one invocation (the pytest entry point above exists for local
-    ``pytest benchmarks/`` runs and simulates the same scenarios).
+    Returns a non-zero exit code when a full-scale floor is missed, so CI
+    needs only this one invocation.
     """
+    cores = available_cpu_count()
     print(
-        f"ensembles: R={N_REPLICAS} replicas, n={N_BINS} bins "
-        f"(plain: {ROUNDS} rounds; Greedy[2]: {DCHOICES_ROUNDS} rounds; "
-        f"adversarial: {FAULTY_ROUNDS} rounds, fault every {FAULT_PERIOD}; "
-        f"walks: {WALKS_ROUNDS} rounds on {WALKS_TOPOLOGY})"
+        f"scale={scale.name}: R={scale.native_replicas} native / "
+        f"R={scale.numpy_replicas} numpy / R={scale.baseline_replicas} "
+        f"sequential sample, n={N_BINS} bins; {cores} visible core(s)"
     )
-    print(f"native rbb kernel  : {native_status()}")
-    print(f"native walk kernel : {native_status('walks')}")
-    timings = measure()
-
-    rows = [
-        ("plain / sequential", timings["sequential_s"], ROUNDS, 1.0),
-        (
-            "plain / batched numpy",
-            timings["batched_numpy_s"],
-            ROUNDS,
-            timings["numpy_speedup"],
-        ),
-    ]
-    if "batched_native_s" in timings:
-        rows.append(
-            (
-                "plain / batched native",
-                timings["batched_native_s"],
-                ROUNDS,
-                timings["native_speedup"],
-            )
-        )
-        rows.append(
-            (
-                f"observed/{OBSERVE_EVERY} / batched native",
-                timings["observed_native_s"],
-                ROUNDS,
-                timings["observed_speedup"],
-            )
-        )
-    rows += [
-        ("greedy[2] / sequential", timings["dchoices_sequential_s"], DCHOICES_ROUNDS, 1.0),
-        (
-            "greedy[2] / batched",
-            timings["dchoices_batched_s"],
-            DCHOICES_ROUNDS,
-            timings["dchoices_speedup"],
-        ),
-        ("adversarial / sequential", timings["faulty_sequential_s"], FAULTY_ROUNDS, 1.0),
-        (
-            "adversarial / batched",
-            timings["faulty_batched_s"],
-            FAULTY_ROUNDS,
-            timings["faulty_speedup"],
-        ),
-        ("walks / sequential", timings["walks_sequential_s"], WALKS_ROUNDS, 1.0),
-        (
-            "walks / batched numpy",
-            timings["walks_numpy_s"],
-            WALKS_ROUNDS,
-            timings["walks_numpy_speedup"],
-        ),
-    ]
-    if "walks_native_s" in timings:
-        rows.append(
-            (
-                "walks / batched native",
-                timings["walks_native_s"],
-                WALKS_ROUNDS,
-                timings["walks_native_speedup"],
-            )
-        )
     print(
-        f"{'scenario / engine':28s} {'wall clock':>12s} "
-        f"{'replica-rounds/s':>18s} {'speedup':>9s}"
+        f"native rbb kernel  : {native_status()} "
+        f"[threading: {native_threading()}]"
     )
-    for label, elapsed, rounds, speedup in rows:
+    print(
+        f"native walk kernel : {native_status('walks')} "
+        f"[threading: {native_threading('walks')}]"
+    )
+    if scale.enforce:
         print(
-            f"{label:28s} {elapsed:10.2f} s "
-            f"{N_REPLICAS * rounds / elapsed:18,.0f} {speedup:8.1f}x"
+            f"enforced floors: rbb {prorated(RBB_TARGET, RBB_PER_CORE_FLOOR):.1f}x "
+            f"(headline {RBB_TARGET:.0f}x), walks "
+            f"{prorated(WALKS_TARGET, WALKS_PER_CORE_FLOOR):.1f}x "
+            f"(headline {WALKS_TARGET:.0f}x)"
         )
-
-    failures = []
-    if timings["numpy_speedup"] < NUMPY_TARGET:
-        failures.append(
-            f"plain numpy kernel speedup {timings['numpy_speedup']:.2f}x "
-            f"< {NUMPY_TARGET}x target"
-        )
-    if timings["dchoices_speedup"] < DCHOICES_TARGET:
-        failures.append(
-            f"batched Greedy[2] speedup {timings['dchoices_speedup']:.2f}x "
-            f"< {DCHOICES_TARGET}x target"
-        )
-    if "native_speedup" in timings:
-        if timings["native_speedup"] < NATIVE_TARGET:
-            failures.append(
-                f"plain native kernel speedup {timings['native_speedup']:.2f}x "
-                f"< {NATIVE_TARGET}x target"
-            )
-        if timings["observed_speedup"] < OBSERVED_TARGET:
-            failures.append(
-                f"observed native run (observe_every={OBSERVE_EVERY}) speedup "
-                f"{timings['observed_speedup']:.2f}x < {OBSERVED_TARGET}x target"
-            )
-        if timings["faulty_speedup"] < FAULTY_TARGET:
-            failures.append(
-                f"batched adversarial speedup {timings['faulty_speedup']:.2f}x "
-                f"< {FAULTY_TARGET}x target"
-            )
-    else:
+    cases = measure(scale)
+    print(
+        f"{'case':28s} {'wall clock':>12s} {'replica-rounds/s':>18s} "
+        f"{'speedup':>9s}"
+    )
+    for name, case in cases.items():
         print(
-            f"note: native kernel unavailable; the {NATIVE_TARGET}x plain and "
-            "adversarial targets are not checked"
+            f"{name:28s} {case['seconds']:10.2f} s "
+            f"{case['replica_rounds_per_s']:18,.0f} {case['speedup']:8.1f}x"
         )
-    if timings["walks_numpy_speedup"] < WALKS_NUMPY_TARGET:
-        failures.append(
-            f"batched numpy walks speedup {timings['walks_numpy_speedup']:.2f}x "
-            f"< {WALKS_NUMPY_TARGET}x target"
-        )
-    if "walks_native_speedup" in timings:
-        if timings["walks_native_speedup"] < WALKS_TARGET:
-            failures.append(
-                f"native walk kernel speedup {timings['walks_native_speedup']:.2f}x "
-                f"< {WALKS_TARGET}x target"
-            )
-    else:
-        print(
-            f"note: native walk kernel unavailable; the {WALKS_TARGET}x "
-            "batched-walks target is not checked"
-        )
+    if not scale.enforce:
+        print("smoke scale: speedup floors not enforced")
+        return 0
+    failures = check_targets(cases)
     for failure in failures:
         print(f"FAILED: {failure}")
     return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    import sys
+
+    raise SystemExit(main(SMOKE if "--smoke" in sys.argv[1:] else FULL))

@@ -1,0 +1,119 @@
+"""Compare the newest benchmark ledger entry against its predecessor.
+
+Reads a ledger written by ``benchmarks/record.py`` and compares the last
+entry's per-case throughput (``replica_rounds_per_s``) against the most
+recent *comparable* earlier entry — same scale and same visible core
+count, so a smoke run is never judged against a full run and a laptop
+never against a CI container.
+
+By default the comparison is informational (exit 0 either way: shared
+runners are noisy).  ``--strict`` exits 1 when any case regresses by more
+than ``--tolerance`` (default 0.2, i.e. >20% slower).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare.py
+    PYTHONPATH=src python benchmarks/compare.py --strict --tolerance 0.2
+    PYTHONPATH=src python benchmarks/compare.py --ledger /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+DEFAULT_LEDGER = Path(__file__).resolve().parent / "BENCH_batched.json"
+
+
+def _comparable(entry: dict, candidate: dict) -> bool:
+    return (
+        candidate.get("scale") == entry.get("scale")
+        and candidate.get("host", {}).get("cores")
+        == entry.get("host", {}).get("cores")
+    )
+
+
+def find_baseline(entries: List[dict]) -> Tuple[dict, Optional[dict]]:
+    """The newest entry and the latest comparable entry before it."""
+    if not entries:
+        raise SystemExit("ledger has no entries; run benchmarks/record.py first")
+    latest = entries[-1]
+    for candidate in reversed(entries[:-1]):
+        if _comparable(latest, candidate):
+            return latest, candidate
+    return latest, None
+
+
+def compare(latest: dict, baseline: dict, tolerance: float) -> List[str]:
+    """Regression messages for cases slower than ``1 - tolerance`` x baseline."""
+    regressions: List[str] = []
+    for name, case in latest["cases"].items():
+        before = baseline["cases"].get(name)
+        if before is None:
+            continue
+        old = before["replica_rounds_per_s"]
+        new = case["replica_rounds_per_s"]
+        if old > 0 and new < old * (1.0 - tolerance):
+            regressions.append(
+                f"{name}: {new:,.0f} rr/s vs {old:,.0f} rr/s baseline "
+                f"({new / old - 1.0:+.1%})"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=DEFAULT_LEDGER,
+        help=f"ledger file to read (default {DEFAULT_LEDGER})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional slowdown before flagging (default 0.2)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when a regression exceeds the tolerance",
+    )
+    args = parser.parse_args(argv)
+    if not args.ledger.exists():
+        raise SystemExit(f"ledger {args.ledger} does not exist")
+    ledger = json.loads(args.ledger.read_text())
+    latest, baseline = find_baseline(ledger.get("entries", []))
+    label = (
+        f"{latest.get('scale')}-scale entry {latest.get('recorded_at')} "
+        f"(git {latest.get('git') or '?'}, "
+        f"{latest.get('host', {}).get('cores')} core(s))"
+    )
+    if baseline is None:
+        print(f"{label}: no comparable earlier entry; nothing to compare")
+        return 0
+    regressions = compare(latest, baseline, args.tolerance)
+    print(
+        f"{label} vs baseline {baseline.get('recorded_at')} "
+        f"(git {baseline.get('git') or '?'})"
+    )
+    for name, case in latest["cases"].items():
+        before = baseline["cases"].get(name)
+        if before is None or before["replica_rounds_per_s"] <= 0:
+            continue
+        delta = case["replica_rounds_per_s"] / before["replica_rounds_per_s"] - 1.0
+        print(f"  {name:28s} {delta:+7.1%}")
+    if regressions:
+        print(f"regressions beyond {args.tolerance:.0%}:")
+        for message in regressions:
+            print(f"  REGRESSION {message}")
+        return 1 if args.strict else 0
+    print(f"no case regressed beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -141,7 +141,7 @@ class BatchedFaultyProcess:
         A :class:`FaultSchedule`; the convenience constructor
         :meth:`with_gamma` builds the paper's ``gamma * n`` periodic
         schedule.
-    n_balls, initial, seed, kernel:
+    n_balls, initial, seed, kernel, n_threads:
         Forwarded to :class:`~repro.core.batched.BatchedRepeatedBallsIntoBins`
         (``seed`` also feeds the adversary's own stream).  Passing an
         existing :class:`numpy.random.Generator` makes the adversary and
@@ -169,6 +169,7 @@ class BatchedFaultyProcess:
         seed: SeedLike = None,
         kernel: str = "auto",
         process: Optional[BatchedLoadProcess] = None,
+        n_threads: Optional[int] = None,
     ) -> None:
         if isinstance(seed, np.random.Generator):
             # one shared stream for adversary and process, as in FaultyProcess
@@ -197,6 +198,7 @@ class BatchedFaultyProcess:
                 initial=initial,
                 seed=process_seq,
                 kernel=kernel,
+                n_threads=n_threads,
             )
         self._adversary = get_adversary(adversary)
         self._schedule = schedule if schedule is not None else FaultSchedule.never()

@@ -146,6 +146,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool workers sharding each point's replicas (default 0 = in-process)",
     )
     sweep_run.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "native-kernel threads per shard (default: REPRO_NATIVE_THREADS, "
+            "then the visible core count); results are identical for any "
+            "value, and workers x threads is capped to the visible cores"
+        ),
+    )
+    sweep_run.add_argument(
         "--max-points",
         type=int,
         default=None,
@@ -394,6 +405,7 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         engine=args.engine,
         kernel=args.kernel,
         n_workers=args.workers,
+        n_threads=args.threads,
         max_points=args.max_points,
         progress=print,
     )

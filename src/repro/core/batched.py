@@ -57,15 +57,17 @@ vector:
 from __future__ import annotations
 
 import ctypes
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Union, runtime_checkable
 
 import numpy as np
 
 from .config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
-from .native import get_kernel, native_status
+from .native import get_kernel, native_status, resolve_n_threads
 from ..errors import ConfigurationError, SimulationError
 from ..metrics.base import BatchedObserverList
+from ..metrics.fused import FusedSegmentStats, fused_needs_moments, supports_fused
 from ..metrics.payload import MetricPayload, concatenate_payload_maps
 from ..metrics.window import run_window
 from ..rng import as_seed_sequence
@@ -359,6 +361,14 @@ class BatchedLoadProcess:
     seed:
         Seed-like value; an existing :class:`numpy.random.Generator` is
         used as-is, anything else is normalized through ``SeedSequence``.
+    n_threads:
+        Worker threads for native-kernel calls (replica-axis
+        parallelism).  ``None`` defers to ``REPRO_NATIVE_THREADS`` and
+        then the available CPU count (see
+        :func:`repro.core.native.resolve_n_threads`).  Results are
+        bit-identical for every value — replicas own disjoint state and
+        RNG streams — so this is purely a performance knob.  Ignored by
+        numpy-kernel subclasses.
 
     Notes
     -----
@@ -377,6 +387,7 @@ class BatchedLoadProcess:
         n_balls: Optional[int] = None,
         initial: Union[LoadConfiguration, np.ndarray, None] = None,
         seed: SeedLike = None,
+        n_threads: Optional[int] = None,
     ) -> None:
         if n_bins < 1:
             raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
@@ -384,6 +395,11 @@ class BatchedLoadProcess:
             raise ConfigurationError(
                 f"n_replicas must be >= 1, got {n_replicas}"
             )
+        if n_threads is not None and int(n_threads) < 1:
+            raise ConfigurationError(
+                f"n_threads must be >= 1, got {n_threads}"
+            )
+        self._n_threads = None if n_threads is None else int(n_threads)
         self._n_bins = n_bins
         self._n_replicas = n_replicas
         self._loads = self._coerce_initial(initial, n_balls)
@@ -611,17 +627,26 @@ class BatchedLoadProcess:
         observed-segmentation loop.
 
         Unobserved runs collapse into a single kernel call.  Observed runs
-        advance ``observe_every`` rounds per FFI call and observers see the
-        state between segments; every native kernel consumes its
-        per-replica streams round by round, so a segmented run follows the
-        exact same trajectory as a whole-window one.  Shared by the rbb and
-        walk kernels so the segmentation logic exists exactly once.
+        prefer *fused* observation: when every attached observer can
+        ingest in-kernel partials (see :mod:`repro.metrics.fused`), the
+        kernel records the per-observation-point reductions itself and
+        the whole window is still one FFI call.  Otherwise the run
+        advances ``observe_every`` rounds per FFI call and observers see
+        the state between segments; every native kernel consumes its
+        per-replica streams round by round, so segmented, fused, and
+        whole-window runs follow the exact same trajectory.  Shared by
+        the rbb and walk kernels so this logic exists exactly once.
         """
         if observers is None or observers.is_empty:
             max_seen, min_empty = self._run_native(
                 kernel, rounds, threshold, stop_when_legitimate, first_legit
             )
             return max_seen, min_empty, "native"
+        if self._fusable(observers, rounds, stop_when_legitimate):
+            return self._run_native_fused(
+                kernel, rounds, threshold, first_legit, observers,
+                observe_every,
+            )
         R, n = self._n_replicas, self._n_bins
         max_seen = np.zeros(R, dtype=np.int64)
         min_empty = np.full(R, n, dtype=np.int64)
@@ -637,9 +662,81 @@ class BatchedLoadProcess:
             observers.observe(int(self._rounds_done.max()), self.loads)
         return max_seen, min_empty, "native"
 
-    def _run_native(self, kernel, rounds, threshold, stop_when_legitimate, first_legit):
+    def _fusable(self, observers, rounds, stop_when_legitimate) -> bool:
+        """Whether this observed run can use in-kernel (fused) observation.
+
+        Fusion requires every observer to accept
+        :class:`~repro.metrics.fused.FusedSegmentStats`, and a window
+        where the observation schedule is statically known: no
+        ``stop_when_legitimate`` early exit, every replica active, and
+        all replicas at the same global round (so all share one
+        observation-round vector).  The environment variable
+        ``REPRO_NATIVE_FUSED=0`` forces the segmented reference loop —
+        the escape hatch the fused-equality tests exercise.
+        """
+        if stop_when_legitimate or rounds <= 0:
+            return False
+        if os.environ.get("REPRO_NATIVE_FUSED", "").strip() == "0":
+            return False
+        if not self._active.all():
+            return False
+        if not (self._rounds_done == self._rounds_done[0]).all():
+            return False
+        return all(supports_fused(observer) for observer in observers)
+
+    def _run_native_fused(
+        self, kernel, rounds, threshold, first_legit, observers, observe_every
+    ):
+        """One fused kernel call: simulate *and* observe in C.
+
+        The kernel fills ``(n_obs, R)`` buffers with the post-round max
+        load and empty-bin count at every stride boundary (plus the load
+        sum / sum of squares when a moments consumer asks); the buffers
+        are handed to each observer's ``ingest_fused``.  All recorded
+        values are integers the Python trackers would have computed from
+        the matrices themselves, so the resulting tracker state is
+        bit-identical to the segmented loop's.
+        """
+        R, n = self._n_replicas, self._n_bins
+        n_obs = -(-rounds // observe_every)  # ceil division
+        need_moments = any(fused_needs_moments(o) for o in observers)
+        obs_max = np.zeros((n_obs, R), dtype=np.int32)
+        obs_empty = np.zeros((n_obs, R), dtype=np.int32)
+        obs_sum = np.zeros((n_obs, R), dtype=np.int64) if need_moments else None
+        obs_sumsq = (
+            np.zeros((n_obs, R), dtype=np.int64) if need_moments else None
+        )
+        start = int(self._rounds_done[0])
+        max_seen, min_empty = self._run_native(
+            kernel, rounds, threshold, False, first_legit,
+            obs=(observe_every, obs_max, obs_empty, obs_sum, obs_sumsq),
+        )
+        # observation k happens after round (k+1) * observe_every, capped
+        # at the window end — the same schedule the segmented loop drives
+        obs_rounds = start + np.minimum(
+            np.arange(1, n_obs + 1, dtype=np.int64) * observe_every, rounds
+        )
+        stats = FusedSegmentStats(
+            rounds=obs_rounds,
+            max_load=obs_max.astype(np.int64),
+            empty_bins=obs_empty.astype(np.int64),
+            n_bins=n,
+            load_sum=obs_sum,
+            load_sumsq=obs_sumsq,
+        )
+        for observer in observers:
+            observer.ingest_fused(stats)
+        return max_seen, min_empty, "native"
+
+    def _run_native(
+        self, kernel, rounds, threshold, stop_when_legitimate, first_legit,
+        obs=None,
+    ):
         """One native-kernel call advancing up to ``rounds`` rounds
-        (kernel-owning subclasses implement this)."""
+        (kernel-owning subclasses implement this).  ``obs`` is ``None``
+        or a ``(observe_every, obs_max, obs_empty, obs_sum, obs_sumsq)``
+        tuple of fused-observation output buffers (the moment buffers may
+        be ``None``)."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -767,6 +864,9 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
     kernel:
         ``"numpy"`` (reference), ``"native"`` (compiled; raises when no C
         compiler is available), or ``"auto"`` (native when possible).
+    n_threads:
+        Worker threads for native-kernel calls; see
+        :class:`BatchedLoadProcess`.  Never changes results.
     """
 
     def __init__(
@@ -777,6 +877,7 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
         initial: Union[LoadConfiguration, np.ndarray, None] = None,
         seed: SeedLike = None,
         kernel: str = "auto",
+        n_threads: Optional[int] = None,
     ) -> None:
         if kernel not in ("auto", "numpy", "native"):
             raise ConfigurationError(
@@ -787,7 +888,8 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
                 f"native kernel requested but unavailable ({native_status()})"
             )
         super().__init__(
-            n_bins, n_replicas, n_balls=n_balls, initial=initial, seed=seed
+            n_bins, n_replicas, n_balls=n_balls, initial=initial, seed=seed,
+            n_threads=n_threads,
         )
         self._kernel = kernel
 
@@ -847,7 +949,10 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
             and (self._n_balls < 2**31 - 1).all()
         )
 
-    def _run_native(self, kernel, rounds, threshold, stop_when_legitimate, first_legit):
+    def _run_native(
+        self, kernel, rounds, threshold, stop_when_legitimate, first_legit,
+        obs=None,
+    ):
         R = self._n_replicas
         loads32 = np.ascontiguousarray(self._loads, dtype=np.int32)
         states = self._native_states()
@@ -856,8 +961,17 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
         active8 = np.ascontiguousarray(self._active, dtype=np.uint8)
         rounds_done = np.ascontiguousarray(self._rounds_done)
         first64 = np.ascontiguousarray(first_legit)
+        n_threads = resolve_n_threads(self._n_threads, R, kernel="rbb")
+        if obs is None:
+            observe_every, n_obs = 1, 0
+            obs_max = obs_empty = obs_sum = obs_sumsq = None
+        else:
+            observe_every, obs_max, obs_empty, obs_sum, obs_sumsq = obs
+            n_obs = int(obs_max.shape[0])
 
         def ptr(arr, ctype):
+            if arr is None:
+                return None  # NULL: kernel skips the optional output
             return arr.ctypes.data_as(ctypes.POINTER(ctype))
 
         kernel(
@@ -873,6 +987,13 @@ class BatchedRepeatedBallsIntoBins(BatchedLoadProcess):
             ptr(first64, ctypes.c_int64),
             ptr(rounds_done, ctypes.c_int64),
             ptr(active8, ctypes.c_uint8),
+            ctypes.c_int32(n_threads),
+            ctypes.c_int64(observe_every),
+            ctypes.c_int64(n_obs),
+            ptr(obs_max, ctypes.c_int32),
+            ptr(obs_empty, ctypes.c_int32),
+            ptr(obs_sum, ctypes.c_int64),
+            ptr(obs_sumsq, ctypes.c_int64),
         )
         self._loads[...] = loads32
         self._rounds_done[...] = rounds_done

@@ -11,20 +11,35 @@ loaded through :mod:`ctypes`:
     ``graphs/walk_kernel.c`` — the topology-constrained parallel-walk
     update driven by :class:`~repro.graphs.batched.BatchedConstrainedWalks`.
 
+Both kernels share ``_kernel_common.h`` (RNG + replica-axis threading) and
+are compiled against a ladder of flag variants, best first::
+
+    -O3 -march=native -funroll-loops -fopenmp        (OpenMP threading)
+    -O3 -march=native -funroll-loops -DREPRO_PTHREADS -pthread
+    -O3 -march=native -funroll-loops                 (serial)
+    -O3 -fopenmp
+    -O3 -DREPRO_PTHREADS -pthread
+    -O3
+
+Each variant gets its own cached binary, fingerprinted over the kernel
+source, the shared header, the compiler, the exact flag list, and the
+host identity — so changing any flag (or the header) can never reuse a
+stale ``.so``.  A variant that fails to compile leaves a ``.failed``
+marker next to where its binary would live and is skipped on subsequent
+runs.  The loaded library is probed via ``repro_threading_model()`` to
+report which threading backend it actually carries.
+
 Everything is best-effort: when no C compiler is available, compilation
 fails, or the environment variable ``REPRO_NATIVE=0`` disables the fast
 path, callers fall back to the pure-numpy kernels — the semantic
 reference implementations.
 
-The public surface is three functions, each taking the kernel name
-(default ``"rbb"``, the historical single kernel):
-
-``native_available(kernel)``
-    Whether the compiled kernel can be used in this process.
-``get_kernel(kernel)``
-    The ``ctypes`` function for the kernel's entry point (or ``None``).
-``native_status(kernel)``
-    A human-readable explanation of why the kernel is or is not available.
+Thread-count resolution (:func:`resolve_n_threads`) has the precedence
+explicit ``n_threads`` argument > ``REPRO_NATIVE_THREADS`` environment
+variable > available CPU count, clamped to the replica count and forced
+to 1 when the compiled kernel has no threading backend.  Results are
+bit-identical for every thread count, so this is purely a performance
+knob.
 """
 
 from __future__ import annotations
@@ -38,11 +53,41 @@ import subprocess
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["native_available", "get_kernel", "native_status", "KERNEL_NAMES"]
+from ..errors import ConfigurationError
+
+__all__ = [
+    "native_available",
+    "get_kernel",
+    "native_status",
+    "native_threading",
+    "resolve_n_threads",
+    "available_cpu_count",
+    "KERNEL_NAMES",
+    "THREAD_MODELS",
+]
 
 _PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+#: Shared header compiled into every kernel (threading + RNG runtime).
+_COMMON_HEADER = _PACKAGE_ROOT / "core" / "_kernel_common.h"
+
+#: repro_threading_model() return values -> human-readable backend names.
+THREAD_MODELS: Dict[int, str] = {0: "serial", 1: "pthreads", 2: "openmp"}
+
+
+def _obs_tail():
+    """Argtypes shared by both kernels' fused-observation ABI tail."""
+    return [
+        ctypes.c_int32,  # n_threads
+        ctypes.c_int64,  # observe_every
+        ctypes.c_int64,  # n_obs
+        ctypes.POINTER(ctypes.c_int32),  # obs_max (n_obs, R) or None
+        ctypes.POINTER(ctypes.c_int32),  # obs_empty (n_obs, R) or None
+        ctypes.POINTER(ctypes.c_int64),  # obs_sum (n_obs, R) or None
+        ctypes.POINTER(ctypes.c_int64),  # obs_sumsq (n_obs, R) or None
+    ]
 
 
 def _declare_rbb(lib: ctypes.CDLL):
@@ -60,7 +105,7 @@ def _declare_rbb(lib: ctypes.CDLL):
         ctypes.POINTER(ctypes.c_int64),  # first_legit (R,)
         ctypes.POINTER(ctypes.c_int64),  # rounds_done (R,)
         ctypes.POINTER(ctypes.c_uint8),  # active (R,)
-    ]
+    ] + _obs_tail()
     fn.restype = None
     return fn
 
@@ -85,9 +130,9 @@ def _declare_walks(lib: ctypes.CDLL):
         ctypes.POINTER(ctypes.c_int64),  # first_legit (R,)
         ctypes.POINTER(ctypes.c_int64),  # rounds_done (R,)
         ctypes.POINTER(ctypes.c_uint8),  # active (R,)
-        ctypes.POINTER(ctypes.c_int32),  # scratch (n,)
-        ctypes.POINTER(ctypes.c_int32),  # sources (n,)
-    ]
+        ctypes.POINTER(ctypes.c_int32),  # scratch (n_threads, n)
+        ctypes.POINTER(ctypes.c_int32),  # sources (n_threads, n)
+    ] + _obs_tail()
     fn.restype = None
     return fn
 
@@ -96,6 +141,16 @@ def _declare_walks(lib: ctypes.CDLL):
 class _KernelSpec:
     source: Path
     declare: Callable[[ctypes.CDLL], object]
+    headers: Tuple[Path, ...] = (_COMMON_HEADER,)
+
+
+@dataclass(frozen=True)
+class _LoadedKernel:
+    """A resolved kernel: its entry point (or None) plus diagnostics."""
+
+    fn: Optional[object]
+    status: str
+    threading: str  # "openmp" | "pthreads" | "serial" | "unavailable"
 
 
 _KERNELS: Dict[str, _KernelSpec] = {
@@ -111,7 +166,7 @@ _KERNELS: Dict[str, _KernelSpec] = {
 #: Names of the compiled kernels this module can load.
 KERNEL_NAMES: Tuple[str, ...] = tuple(_KERNELS)
 
-_CACHE: Dict[str, Tuple[Optional[object], str]] = {}
+_CACHE: Dict[str, _LoadedKernel] = {}
 
 
 def _cache_dir() -> Path:
@@ -128,57 +183,135 @@ def _compiler() -> Optional[str]:
     return None
 
 
-def _compile(source: Path, out: Path, cc: str) -> None:
-    """Compile the kernel, preferring -march=native but retrying without."""
+#: Optimization/threading flag variants, best first.  The threaded
+#: variants come before their serial siblings so threading is lost only
+#: when neither OpenMP nor pthreads links on this toolchain.
+_FAST = ["-march=native", "-funroll-loops"]
+_OPENMP = ["-fopenmp"]
+_PTHREADS = ["-DREPRO_PTHREADS", "-pthread"]
+_FLAG_VARIANTS: Tuple[Tuple[str, ...], ...] = tuple(
+    tuple(flags)
+    for flags in (
+        _FAST + _OPENMP,
+        _FAST + _PTHREADS,
+        _FAST,
+        _OPENMP,
+        _PTHREADS,
+        [],
+    )
+)
+
+
+def _fingerprint(spec: _KernelSpec, cc: str, flags: Tuple[str, ...]) -> str:
+    """Cache key for one (kernel, compiler, flag-variant, host) binary.
+
+    The exact flag list is part of the key, so changing the variant
+    ladder (e.g. adding ``-fopenmp``) can never silently reuse a binary
+    compiled without it; the shared header is hashed alongside the
+    kernel source because it is compiled into the binary; the host
+    identity is included because ``-march=native`` builds are not
+    portable across CPUs (e.g. a shared ``$HOME`` on a heterogeneous
+    cluster).
+    """
+    digest = hashlib.sha256(spec.source.read_bytes())
+    for header in spec.headers:
+        digest.update(header.read_bytes())
+    digest.update(cc.encode())
+    digest.update("\x1f".join(flags).encode())
+    digest.update(platform.machine().encode())
+    digest.update(platform.processor().encode())
+    digest.update(platform.node().encode())
+    return digest.hexdigest()[:16]
+
+
+def _compile(
+    spec: _KernelSpec, out: Path, cc: str, flags: Tuple[str, ...]
+) -> None:
+    """Compile one flag variant of the kernel into ``out`` (atomically)."""
     out.parent.mkdir(parents=True, exist_ok=True)
-    base = [cc, "-O3", "-shared", "-fPIC", str(source), "-o"]
-    for extra in (["-march=native", "-funroll-loops"], []):
-        with tempfile.NamedTemporaryFile(
-            dir=out.parent, suffix=".so", delete=False
-        ) as tmp:
-            tmp_path = Path(tmp.name)
-        cmd = base[:1] + extra + base[1:] + [str(tmp_path)]
-        proc = subprocess.run(
-            cmd, capture_output=True, text=True, timeout=120
-        )
-        if proc.returncode == 0:
-            os.replace(tmp_path, out)  # atomic: concurrent builds are safe
-            return
-        tmp_path.unlink(missing_ok=True)
+    include_dirs = sorted({str(h.parent) for h in spec.headers})
+    cmd = (
+        [cc, "-O3", "-shared", "-fPIC"]
+        + list(flags)
+        + [f"-I{d}" for d in include_dirs]
+        + [str(spec.source), "-o"]
+    )
+    with tempfile.NamedTemporaryFile(
+        dir=out.parent, suffix=".so", delete=False
+    ) as tmp:
+        tmp_path = Path(tmp.name)
+    proc = subprocess.run(
+        cmd + [str(tmp_path)], capture_output=True, text=True, timeout=120
+    )
+    if proc.returncode == 0:
+        os.replace(tmp_path, out)  # atomic: concurrent builds are safe
+        return
+    tmp_path.unlink(missing_ok=True)
     raise RuntimeError(f"compilation failed: {proc.stderr.strip()[:500]}")
 
 
-def _load(name: str):
+def _probe_threading(lib: ctypes.CDLL) -> str:
+    """Which threading backend the loaded binary was compiled with."""
+    try:
+        probe = lib.repro_threading_model
+        probe.argtypes = []
+        probe.restype = ctypes.c_int
+        return THREAD_MODELS.get(int(probe()), "serial")
+    except Exception:  # noqa: BLE001 - pre-header binaries lack the symbol
+        return "serial"
+
+
+def _load(name: str) -> _LoadedKernel:
     spec = _KERNELS[name]
     if os.environ.get("REPRO_NATIVE", "").strip() == "0":
-        return None, "disabled via REPRO_NATIVE=0"
-    if not spec.source.exists():
-        return None, f"kernel source missing: {spec.source}"
+        return _LoadedKernel(None, "disabled via REPRO_NATIVE=0", "unavailable")
+    missing = [
+        p for p in (spec.source, *spec.headers) if not p.exists()
+    ]
+    if missing:
+        return _LoadedKernel(
+            None, f"kernel source missing: {missing[0]}", "unavailable"
+        )
     cc = _compiler()
     if cc is None:
-        return None, "no C compiler found (set CC or install cc/gcc/clang)"
-    # key the cached binary on source, compiler, and host architecture:
-    # '-march=native' builds are not portable across CPUs (e.g. a shared
-    # $HOME on a heterogeneous cluster), and switching CC must not reuse a
-    # stale .so
-    fingerprint = hashlib.sha256(
-        spec.source.read_bytes()
-        + cc.encode()
-        + platform.machine().encode()
-        + platform.processor().encode()
-        + platform.node().encode()
-    ).hexdigest()[:16]
-    lib_path = _cache_dir() / f"{spec.source.stem}-{fingerprint}.so"
-    try:
-        if not lib_path.exists():
-            _compile(spec.source, lib_path, cc)
-        kernel = spec.declare(ctypes.CDLL(str(lib_path)))
-    except Exception as exc:  # noqa: BLE001 - any failure means "unavailable"
-        return None, f"native kernel unavailable: {exc}"
-    return kernel, f"compiled with {cc} -> {lib_path}"
+        return _LoadedKernel(
+            None,
+            "no C compiler found (set CC or install cc/gcc/clang)",
+            "unavailable",
+        )
+    last_error = "no flag variant compiled"
+    for flags in _FLAG_VARIANTS:
+        fingerprint = _fingerprint(spec, cc, flags)
+        lib_path = _cache_dir() / f"{spec.source.stem}-{fingerprint}.so"
+        marker = lib_path.with_suffix(".failed")
+        try:
+            if not lib_path.exists():
+                if marker.exists():
+                    continue  # this variant is known not to compile here
+                _compile(spec, lib_path, cc, flags)
+            lib = ctypes.CDLL(str(lib_path))
+            kernel = spec.declare(lib)
+        except Exception as exc:  # noqa: BLE001 - try the next variant
+            last_error = str(exc)
+            try:
+                marker.parent.mkdir(parents=True, exist_ok=True)
+                marker.write_text(last_error[:2000])
+            except OSError:
+                pass
+            continue
+        threading = _probe_threading(lib)
+        flag_label = " ".join(flags) if flags else "(base flags)"
+        return _LoadedKernel(
+            kernel,
+            f"compiled with {cc} {flag_label} [{threading}] -> {lib_path}",
+            threading,
+        )
+    return _LoadedKernel(
+        None, f"native kernel unavailable: {last_error}", "unavailable"
+    )
 
 
-def _resolve(name: str):
+def _resolve(name: str) -> _LoadedKernel:
     if name not in _KERNELS:
         raise KeyError(
             f"unknown native kernel {name!r}; available: {', '.join(KERNEL_NAMES)}"
@@ -190,14 +323,67 @@ def _resolve(name: str):
 
 def native_available(kernel: str = "rbb") -> bool:
     """Whether the compiled kernel is usable in this process."""
-    return _resolve(kernel)[0] is not None
+    return _resolve(kernel).fn is not None
 
 
 def get_kernel(kernel: str = "rbb"):
     """The ``ctypes`` entry point of a compiled kernel, or ``None``."""
-    return _resolve(kernel)[0]
+    return _resolve(kernel).fn
 
 
 def native_status(kernel: str = "rbb") -> str:
     """Human-readable availability message (for diagnostics and the CLI)."""
-    return _resolve(kernel)[1]
+    return _resolve(kernel).status
+
+
+def native_threading(kernel: str = "rbb") -> str:
+    """Threading backend of the loaded kernel.
+
+    One of ``"openmp"``, ``"pthreads"``, ``"serial"``, or
+    ``"unavailable"`` (kernel not loaded at all).
+    """
+    return _resolve(kernel).threading
+
+
+def available_cpu_count() -> int:
+    """CPUs this process may use (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_n_threads(
+    n_threads: Optional[int] = None,
+    n_replicas: Optional[int] = None,
+    kernel: str = "rbb",
+) -> int:
+    """Resolve the worker-thread count for one native kernel call.
+
+    Precedence: explicit ``n_threads`` argument, then the
+    ``REPRO_NATIVE_THREADS`` environment variable, then the available
+    CPU count.  The result is clamped to ``n_replicas`` (extra threads
+    would only idle) and forced to 1 when the compiled kernel has no
+    threading backend.  Thread count never changes results — replicas
+    own disjoint state and RNG streams — so this is a pure performance
+    knob and is deliberately *not* part of :class:`EnsembleSpec`.
+    """
+    if n_threads is None:
+        env = os.environ.get("REPRO_NATIVE_THREADS", "").strip()
+        if env:
+            try:
+                n_threads = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_NATIVE_THREADS must be an integer, got {env!r}"
+                ) from None
+        else:
+            n_threads = available_cpu_count()
+    n_threads = int(n_threads)
+    if n_threads < 1:
+        raise ConfigurationError(f"n_threads must be >= 1, got {n_threads}")
+    if native_threading(kernel) in ("serial", "unavailable"):
+        n_threads = 1
+    if n_replicas is not None:
+        n_threads = min(n_threads, max(int(n_replicas), 1))
+    return n_threads

@@ -7,6 +7,21 @@
  * legitimate round) and the per-replica early stop on legitimacy are
  * maintained in-kernel so a whole `run()` costs a single FFI call.
  *
+ * Layout and parallelism: the loop is replica-major — each replica runs all
+ * its rounds to completion before the next starts — so the working set per
+ * task is one 4·n-byte row that stays cache-resident instead of an R·n
+ * sweep per round.  Replicas are fanned out across threads by
+ * repro_for_each_replica() (_kernel_common.h); a replica's trajectory
+ * depends only on its own xoshiro256++ state, so results are bit-identical
+ * for every thread count.
+ *
+ * Fused observation: when n_obs > 0 the kernel records, at every stride
+ * boundary ((t+1) % observe_every == 0) and at the window end, the
+ * post-round max load and empty-bin count — plus the load sum and sum of
+ * squares when the moment buffers are non-NULL — into (n_obs, R) output
+ * buffers.  All outputs are integers, so the Python trackers that ingest
+ * them reproduce the segmented observation loop bit-for-bit.
+ *
  * Randomness: each replica owns an independent xoshiro256++ stream whose
  * 4-word state is seeded by the caller (from a numpy SeedSequence).  A
  * replica's trajectory therefore depends only on its own seed words, not on
@@ -17,30 +32,142 @@
  * pure-numpy kernel in repro.core.batched is the semantic reference.
  */
 
-#include <stdint.h>
-
-static inline uint64_t rotl64(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
+#include "_kernel_common.h"
 
 typedef struct {
-    uint64_t s[4];
-} rng_t;
+    int32_t *loads;
+    int64_t R;
+    int64_t n;
+    int64_t rounds;
+    uint64_t *rng_state;
+    int32_t thr;
+    int stop_when_legitimate;
+    int32_t *max_seen;
+    int32_t *min_empty_seen;
+    int64_t *first_legit;
+    int64_t *rounds_done;
+    uint8_t *active;
+    uint32_t lim; /* Lemire rejection threshold for n */
+    int64_t observe_every;
+    int64_t n_obs;
+    int32_t *obs_max;   /* (n_obs, R) or NULL */
+    int32_t *obs_empty; /* (n_obs, R) or NULL */
+    int64_t *obs_sum;   /* (n_obs, R) or NULL: load sums for moments */
+    int64_t *obs_sumsq; /* (n_obs, R) or NULL */
+} rbb_ctx;
 
-/* xoshiro256++ (Blackman & Vigna, public domain reference implementation) */
-static inline uint64_t next64(rng_t *g)
+/* Record observation slot k for replica r.  mx/empty describe the current
+ * configuration; the moment sums are scanned only when requested. */
+static void rbb_record_obs(const rbb_ctx *c, int64_t r, int64_t k, int32_t mx,
+                           int64_t empty)
 {
-    uint64_t *s = g->s;
-    const uint64_t result = rotl64(s[0] + s[3], 23) + s[0];
-    const uint64_t t = s[1] << 17;
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl64(s[3], 45);
-    return result;
+    c->obs_max[k * c->R + r] = mx;
+    c->obs_empty[k * c->R + r] = (int32_t)empty;
+    if (c->obs_sum) {
+        const int32_t *row = c->loads + r * c->n;
+        int64_t s = 0, ss = 0;
+        for (int64_t i = 0; i < c->n; i++) {
+            const int64_t l = row[i];
+            s += l;
+            ss += l * l;
+        }
+        c->obs_sum[k * c->R + r] = s;
+        c->obs_sumsq[k * c->R + r] = ss;
+    }
+}
+
+static void rbb_replica(void *vctx, int64_t r, int tid)
+{
+    rbb_ctx *c = (rbb_ctx *)vctx;
+    const int64_t n = c->n;
+    const uint32_t un = (uint32_t)n;
+    const uint32_t lim = c->lim;
+    const int32_t thr = c->thr;
+    int32_t *row = c->loads + r * n;
+    rng_t *g = (rng_t *)(c->rng_state + 4 * r);
+    int64_t k = 0; /* next fused observation slot */
+    (void)tid;
+
+    for (int64_t t = 0; t < c->rounds; t++) {
+        if (!c->active[r])
+            break;
+
+        /* departures: every non-empty bin loses one ball.  The same pass
+         * collects the ball count, the post-departure max, and the
+         * post-departure empty count, so no separate metrics scan is
+         * needed: departures cannot create a new maximum, and arrivals
+         * below track the running max / fill-ins incrementally. */
+        int64_t cnt = 0;
+        int32_t mx = 0;
+        int64_t empty = 0;
+        for (int64_t i = 0; i < n; i++) {
+            const int32_t l0 = row[i];
+            const int32_t ne = l0 > 0;
+            const int32_t l = l0 - ne;
+            row[i] = l;
+            cnt += ne;
+            if (l > mx)
+                mx = l;
+            empty += (l == 0);
+        }
+
+        /* arrivals: cnt uniform throws, two 32-bit lanes per draw; the
+         * running max and empty count absorb each landing as it happens */
+        int64_t j = 0;
+        while (j < cnt) {
+            const uint64_t w = next64(g);
+            const uint64_t m0 = (uint64_t)(uint32_t)w * un;
+            if ((uint32_t)m0 >= lim) {
+                const int32_t v = ++row[m0 >> 32];
+                empty -= (v == 1);
+                if (v > mx)
+                    mx = v;
+                j++;
+            }
+            if (j < cnt) {
+                const uint64_t m1 = (uint64_t)(uint32_t)(w >> 32) * un;
+                if ((uint32_t)m1 >= lim) {
+                    const int32_t v = ++row[m1 >> 32];
+                    empty -= (v == 1);
+                    if (v > mx)
+                        mx = v;
+                    j++;
+                }
+            }
+        }
+
+        c->rounds_done[r]++;
+        if (mx > c->max_seen[r])
+            c->max_seen[r] = mx;
+        if ((int32_t)empty < c->min_empty_seen[r])
+            c->min_empty_seen[r] = (int32_t)empty;
+        if (c->first_legit[r] < 0 && mx <= thr) {
+            c->first_legit[r] = c->rounds_done[r];
+            if (c->stop_when_legitimate)
+                c->active[r] = 0;
+        }
+        if (c->n_obs &&
+            ((t + 1) % c->observe_every == 0 || t + 1 == c->rounds)) {
+            rbb_record_obs(c, r, k, mx, empty);
+            k++;
+        }
+    }
+
+    /* A replica that stopped early (or was frozen on entry) keeps
+     * reporting its final configuration at the remaining observation
+     * points, matching what the Python segmented loop observes. */
+    if (c->n_obs && k < c->n_obs) {
+        int32_t mx = 0;
+        int64_t empty = 0;
+        for (int64_t i = 0; i < n; i++) {
+            const int32_t l = row[i];
+            if (l > mx)
+                mx = l;
+            empty += (l == 0);
+        }
+        for (; k < c->n_obs; k++)
+            rbb_record_obs(c, r, k, mx, empty);
+    }
 }
 
 /* Advance the ensemble.
@@ -56,73 +183,41 @@ static inline uint64_t next64(rng_t *g)
  * rounds_done    (R,) int64 global per-replica round counters
  * active         (R,) uint8, replicas with 0 are frozen and skipped;
  *                cleared in-kernel when stop_when_legitimate is set
+ * n_threads      worker threads for the replica axis (<= 1: serial)
+ * observe_every  fused observation stride (ignored when n_obs == 0)
+ * n_obs          number of fused observation slots; 0 disables observation
+ * obs_max        (n_obs, R) int32 post-round max load per slot, or NULL
+ * obs_empty      (n_obs, R) int32 empty-bin count per slot, or NULL
+ * obs_sum        (n_obs, R) int64 load sum per slot, or NULL to skip moments
+ * obs_sumsq      (n_obs, R) int64 load sum-of-squares per slot, or NULL
  */
 void rbb_run(int32_t *loads, int64_t R, int64_t n, int64_t rounds,
              uint64_t *rng_state, double threshold, int stop_when_legitimate,
              int32_t *max_seen, int32_t *min_empty_seen, int64_t *first_legit,
-             int64_t *rounds_done, uint8_t *active)
+             int64_t *rounds_done, uint8_t *active, int32_t n_threads,
+             int64_t observe_every, int64_t n_obs, int32_t *obs_max,
+             int32_t *obs_empty, int64_t *obs_sum, int64_t *obs_sumsq)
 {
     const uint32_t un = (uint32_t)n;
-    const uint32_t lim = (uint32_t)(-un) % un; /* Lemire rejection threshold */
-    const int32_t thr = (int32_t)threshold;
-
-    for (int64_t t = 0; t < rounds; t++) {
-        int any_active = 0;
-        for (int64_t r = 0; r < R; r++) {
-            if (!active[r])
-                continue;
-            any_active = 1;
-            int32_t *row = loads + r * n;
-            rng_t *g = (rng_t *)(rng_state + 4 * r);
-
-            /* departures: every non-empty bin loses one ball */
-            int64_t cnt = 0;
-            for (int64_t i = 0; i < n; i++) {
-                const int32_t l = row[i];
-                const int32_t ne = l > 0;
-                row[i] = l - ne;
-                cnt += ne;
-            }
-
-            /* arrivals: cnt uniform throws, two 32-bit lanes per draw */
-            int64_t j = 0;
-            while (j < cnt) {
-                const uint64_t w = next64(g);
-                const uint64_t m0 = (uint64_t)(uint32_t)w * un;
-                if ((uint32_t)m0 >= lim) {
-                    row[m0 >> 32]++;
-                    j++;
-                }
-                if (j < cnt) {
-                    const uint64_t m1 = (uint64_t)(uint32_t)(w >> 32) * un;
-                    if ((uint32_t)m1 >= lim) {
-                        row[m1 >> 32]++;
-                        j++;
-                    }
-                }
-            }
-
-            /* metrics of the new configuration */
-            int32_t mx = 0;
-            int64_t empty = 0;
-            for (int64_t i = 0; i < n; i++) {
-                const int32_t l = row[i];
-                if (l > mx)
-                    mx = l;
-                empty += (l == 0);
-            }
-            rounds_done[r]++;
-            if (mx > max_seen[r])
-                max_seen[r] = mx;
-            if ((int32_t)empty < min_empty_seen[r])
-                min_empty_seen[r] = (int32_t)empty;
-            if (first_legit[r] < 0 && mx <= thr) {
-                first_legit[r] = rounds_done[r];
-                if (stop_when_legitimate)
-                    active[r] = 0;
-            }
-        }
-        if (!any_active)
-            break;
-    }
+    rbb_ctx c;
+    c.loads = loads;
+    c.R = R;
+    c.n = n;
+    c.rounds = rounds;
+    c.rng_state = rng_state;
+    c.thr = (int32_t)threshold;
+    c.stop_when_legitimate = stop_when_legitimate;
+    c.max_seen = max_seen;
+    c.min_empty_seen = min_empty_seen;
+    c.first_legit = first_legit;
+    c.rounds_done = rounds_done;
+    c.active = active;
+    c.lim = (uint32_t)(-un) % un;
+    c.observe_every = observe_every < 1 ? 1 : observe_every;
+    c.n_obs = (obs_max && obs_empty) ? n_obs : 0;
+    c.obs_max = obs_max;
+    c.obs_empty = obs_empty;
+    c.obs_sum = obs_sum;
+    c.obs_sumsq = obs_sumsq;
+    repro_for_each_replica(&c, rbb_replica, R, n_threads);
 }

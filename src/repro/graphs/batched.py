@@ -60,7 +60,7 @@ import numpy as np
 from .topology import Topology
 from ..core.batched import BatchedLoadProcess
 from ..core.config import LoadConfiguration
-from ..core.native import get_kernel, native_status
+from ..core.native import get_kernel, native_status, resolve_n_threads
 from ..errors import ConfigurationError
 from ..types import SeedLike
 
@@ -95,6 +95,10 @@ class BatchedConstrainedWalks(BatchedLoadProcess):
     kernel:
         ``"numpy"`` (reference), ``"native"`` (compiled; raises when no C
         compiler is available), or ``"auto"`` (native when possible).
+    n_threads:
+        Worker threads for native-kernel calls; see
+        :class:`~repro.core.batched.BatchedLoadProcess`.  Never changes
+        results.
     """
 
     def __init__(
@@ -106,6 +110,7 @@ class BatchedConstrainedWalks(BatchedLoadProcess):
         constrained: bool = True,
         seed: SeedLike = None,
         kernel: str = "auto",
+        n_threads: Optional[int] = None,
     ) -> None:
         if kernel not in ("auto", "numpy", "native"):
             raise ConfigurationError(
@@ -122,11 +127,13 @@ class BatchedConstrainedWalks(BatchedLoadProcess):
             n_balls=n_tokens,
             initial=initial,
             seed=seed,
+            n_threads=n_threads,
         )
         self._topology = topology
         self._constrained = bool(constrained)
         self._kernel = kernel
         self._csr_cache: Optional[tuple] = None
+        self._scratch_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     @property
@@ -214,10 +221,20 @@ class BatchedConstrainedWalks(BatchedLoadProcess):
                 np.ascontiguousarray(offsets, dtype=np.int64),
                 degrees,
                 np.ascontiguousarray(lims),
-                np.zeros(self._n_bins, dtype=np.int32),  # arrivals scratch
-                np.empty(self._n_bins, dtype=np.int32),  # sources scratch
             )
         return self._csr_cache
+
+    def _native_scratch(self, n_threads: int) -> tuple:
+        """Per-thread kernel work buffers, resized when the thread count
+        grows: ``(n_threads, n)`` arrivals rows (all-zero between calls —
+        the kernel restores the invariant) and source-compaction rows."""
+        if self._scratch_cache is None or self._scratch_cache[0] < n_threads:
+            self._scratch_cache = (
+                n_threads,
+                np.zeros((n_threads, self._n_bins), dtype=np.int32),
+                np.empty((n_threads, self._n_bins), dtype=np.int32),
+            )
+        return self._scratch_cache[1], self._scratch_cache[2]
 
     def _run_window(
         self, rounds, threshold, stop_when_legitimate, first_legit, observers,
@@ -244,18 +261,31 @@ class BatchedConstrainedWalks(BatchedLoadProcess):
             observers, observe_every,
         )
 
-    def _run_native(self, kernel, rounds, threshold, stop_when_legitimate, first_legit):
+    def _run_native(
+        self, kernel, rounds, threshold, stop_when_legitimate, first_legit,
+        obs=None,
+    ):
         R = self._n_replicas
         loads32 = np.ascontiguousarray(self._loads, dtype=np.int32)
-        neighbors, offsets, degrees, lims, scratch, sources = self._native_csr()
+        neighbors, offsets, degrees, lims = self._native_csr()
         states = self._native_states()
         max_seen = np.zeros(R, dtype=np.int32)
         min_empty = np.full(R, self._n_bins, dtype=np.int32)
         active8 = np.ascontiguousarray(self._active, dtype=np.uint8)
         rounds_done = np.ascontiguousarray(self._rounds_done)
         first64 = np.ascontiguousarray(first_legit)
+        n_threads = resolve_n_threads(self._n_threads, R, kernel="walks")
+        scratch, sources = self._native_scratch(n_threads)
+        if obs is None:
+            observe_every, n_obs = 1, 0
+            obs_max = obs_empty = obs_sum = obs_sumsq = None
+        else:
+            observe_every, obs_max, obs_empty, obs_sum, obs_sumsq = obs
+            n_obs = int(obs_max.shape[0])
 
         def ptr(arr, ctype):
+            if arr is None:
+                return None  # NULL: kernel skips the optional output
             return arr.ctypes.data_as(ctypes.POINTER(ctype))
 
         kernel(
@@ -278,6 +308,13 @@ class BatchedConstrainedWalks(BatchedLoadProcess):
             ptr(active8, ctypes.c_uint8),
             ptr(scratch, ctypes.c_int32),
             ptr(sources, ctypes.c_int32),
+            ctypes.c_int32(n_threads),
+            ctypes.c_int64(observe_every),
+            ctypes.c_int64(n_obs),
+            ptr(obs_max, ctypes.c_int32),
+            ptr(obs_empty, ctypes.c_int32),
+            ptr(obs_sum, ctypes.c_int64),
+            ptr(obs_sumsq, ctypes.c_int64),
         )
         self._loads[...] = loads32
         self._rounds_done[...] = rounds_done

@@ -9,6 +9,20 @@
  * and the per-replica early stop on legitimacy are maintained in-kernel so
  * a whole `run()` costs a single FFI call.
  *
+ * Layout and parallelism: the loop is replica-major and replicas are
+ * fanned out across threads by repro_for_each_replica()
+ * (core/_kernel_common.h).  The arrivals and source-compaction buffers are
+ * per-thread slices of (n_threads, n) arrays handed in by the caller, so
+ * workers never share mutable state; a replica's trajectory depends only
+ * on its own xoshiro256++ stream, making results bit-identical for every
+ * thread count.
+ *
+ * Fused observation: when n_obs > 0 the kernel records, at every stride
+ * boundary ((t+1) % observe_every == 0) and at the window end, the
+ * post-round max load and empty-node count — plus the load sum and sum of
+ * squares when the moment buffers are non-NULL — into (n_obs, R) output
+ * buffers, mirroring rbb_kernel.c.
+ *
  * Randomness: each replica owns an independent xoshiro256++ stream whose
  * 4-word state is seeded by the caller (from a numpy SeedSequence), exactly
  * like rbb_kernel.c.  Neighbor picks use Lemire's unbiased bounded-integer
@@ -21,58 +35,170 @@
  * pure-numpy kernel in repro.graphs.batched is the semantic reference.
  */
 
-#include <stdint.h>
-
-static inline uint64_t rotl64(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
+#include "_kernel_common.h"
 
 typedef struct {
-    uint64_t s[4];
-} rng_t;
+    int32_t *loads;
+    int64_t R;
+    int64_t n;
+    const int32_t *neighbors;
+    const int64_t *offsets;
+    const int32_t *degrees;
+    const uint32_t *lims;
+    int64_t rounds;
+    uint64_t *rng_state;
+    int32_t thr;
+    int stop_when_legitimate;
+    int constrained;
+    int32_t *max_seen;
+    int32_t *min_empty_seen;
+    int64_t *first_legit;
+    int64_t *rounds_done;
+    uint8_t *active;
+    int32_t *scratch; /* (n_threads, n) arrivals, all-zero rows */
+    int32_t *sources; /* (n_threads, n) non-empty-node compaction */
+    int64_t observe_every;
+    int64_t n_obs;
+    int32_t *obs_max;   /* (n_obs, R) or NULL */
+    int32_t *obs_empty; /* (n_obs, R) or NULL */
+    int64_t *obs_sum;   /* (n_obs, R) or NULL */
+    int64_t *obs_sumsq; /* (n_obs, R) or NULL */
+} walks_ctx;
 
-/* xoshiro256++ (Blackman & Vigna, public domain reference implementation) */
-static inline uint64_t next64(rng_t *g)
+static void walks_record_obs(const walks_ctx *c, int64_t r, int64_t k,
+                             int32_t mx, int64_t empty)
 {
-    uint64_t *s = g->s;
-    const uint64_t result = rotl64(s[0] + s[3], 23) + s[0];
-    const uint64_t t = s[1] << 17;
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl64(s[3], 45);
-    return result;
-}
-
-/* Two 32-bit lanes per 64-bit draw, reset at every round boundary. */
-typedef struct {
-    rng_t *g;
-    uint64_t buf;
-    int have;
-} lanes_t;
-
-static inline uint32_t lane32(lanes_t *L)
-{
-    if (L->have) {
-        L->have = 0;
-        return (uint32_t)(L->buf >> 32);
+    c->obs_max[k * c->R + r] = mx;
+    c->obs_empty[k * c->R + r] = (int32_t)empty;
+    if (c->obs_sum) {
+        const int32_t *row = c->loads + r * c->n;
+        int64_t s = 0, ss = 0;
+        for (int64_t i = 0; i < c->n; i++) {
+            const int64_t l = row[i];
+            s += l;
+            ss += l * l;
+        }
+        c->obs_sum[k * c->R + r] = s;
+        c->obs_sumsq[k * c->R + r] = ss;
     }
-    L->buf = next64(L->g);
-    L->have = 1;
-    return (uint32_t)L->buf;
 }
 
-/* Unbiased pick in [0, d) via Lemire's reduction; lim = (2^32 - d) % d is
- * precomputed per node by the caller. */
-static inline uint32_t bounded(lanes_t *L, uint32_t d, uint32_t lim)
+static void walks_replica(void *vctx, int64_t r, int tid)
 {
-    for (;;) {
-        const uint64_t m = (uint64_t)lane32(L) * d;
-        if ((uint32_t)m >= lim)
-            return (uint32_t)(m >> 32);
+    walks_ctx *c = (walks_ctx *)vctx;
+    const int64_t n = c->n;
+    const int32_t thr = c->thr;
+    int32_t *row = c->loads + r * n;
+    int32_t *scratch = c->scratch + (int64_t)tid * n;
+    int32_t *sources = c->sources + (int64_t)tid * n;
+    rng_t *g = (rng_t *)(c->rng_state + 4 * r);
+    int64_t k = 0; /* next fused observation slot */
+
+    for (int64_t t = 0; t < c->rounds; t++) {
+        if (!c->active[r])
+            break;
+        lanes_t L = {g, 0, 0};
+
+        if (c->constrained) {
+            /* departures: one token per non-empty node.  A SIMD-
+             * friendly count first, then the path that fits the
+             * density: for sparse rows a guarded loop's branch is
+             * almost always not-taken (predicts perfectly); for dense
+             * rows a branchless compaction (conditional write-cursor
+             * increment) avoids mispredicting the random nonempty
+             * pattern, and the draw loop touches only the cnt
+             * non-empty nodes. */
+            int64_t cnt = 0;
+            for (int64_t i = 0; i < n; i++)
+                cnt += (row[i] > 0);
+            if (cnt * 8 < n) { /* sparse */
+                for (int64_t i = 0; i < n; i++) {
+                    if (row[i] > 0) {
+                        row[i]--;
+                        const uint32_t d = (uint32_t)c->degrees[i];
+                        const int64_t off = c->offsets[i];
+                        const int64_t j =
+                            d == 1 ? 0 : (int64_t)bounded(&L, d, c->lims[i]);
+                        scratch[c->neighbors[off + j]]++;
+                    }
+                }
+            } else { /* dense */
+                int64_t w = 0;
+                for (int64_t i = 0; i < n; i++) {
+                    const int32_t ne = row[i] > 0;
+                    sources[w] = (int32_t)i;
+                    w += ne;
+                    row[i] -= ne;
+                }
+                for (int64_t s = 0; s < cnt; s++) {
+                    const int64_t i = sources[s];
+                    const uint32_t d = (uint32_t)c->degrees[i];
+                    const int64_t off = c->offsets[i];
+                    const int64_t j =
+                        d == 1 ? 0 : (int64_t)bounded(&L, d, c->lims[i]);
+                    scratch[c->neighbors[off + j]]++;
+                }
+            }
+        } else {
+            /* every token moves independently */
+            for (int64_t i = 0; i < n; i++) {
+                const int32_t l = row[i];
+                if (l > 0) {
+                    row[i] = 0;
+                    const uint32_t d = (uint32_t)c->degrees[i];
+                    const int64_t off = c->offsets[i];
+                    const uint32_t lim = c->lims[i];
+                    for (int32_t b = 0; b < l; b++) {
+                        const int64_t j =
+                            d == 1 ? 0 : (int64_t)bounded(&L, d, lim);
+                        scratch[c->neighbors[off + j]]++;
+                    }
+                }
+            }
+        }
+
+        /* arrivals + metrics of the new configuration */
+        int32_t mx = 0;
+        int64_t empty = 0;
+        for (int64_t i = 0; i < n; i++) {
+            const int32_t l = row[i] + scratch[i];
+            row[i] = l;
+            scratch[i] = 0;
+            if (l > mx)
+                mx = l;
+            empty += (l == 0);
+        }
+        c->rounds_done[r]++;
+        if (mx > c->max_seen[r])
+            c->max_seen[r] = mx;
+        if ((int32_t)empty < c->min_empty_seen[r])
+            c->min_empty_seen[r] = (int32_t)empty;
+        if (c->first_legit[r] < 0 && mx <= thr) {
+            c->first_legit[r] = c->rounds_done[r];
+            if (c->stop_when_legitimate)
+                c->active[r] = 0;
+        }
+        if (c->n_obs &&
+            ((t + 1) % c->observe_every == 0 || t + 1 == c->rounds)) {
+            walks_record_obs(c, r, k, mx, empty);
+            k++;
+        }
+    }
+
+    /* A replica that stopped early (or was frozen on entry) keeps
+     * reporting its final configuration at the remaining observation
+     * points, matching what the Python segmented loop observes. */
+    if (c->n_obs && k < c->n_obs) {
+        int32_t mx = 0;
+        int64_t empty = 0;
+        for (int64_t i = 0; i < n; i++) {
+            const int32_t l = row[i];
+            if (l > mx)
+                mx = l;
+            empty += (l == 0);
+        }
+        for (; k < c->n_obs; k++)
+            walks_record_obs(c, r, k, mx, empty);
     }
 }
 
@@ -91,111 +217,52 @@ static inline uint32_t bounded(lanes_t *L, uint32_t d, uint32_t lim)
  * first_legit    (R,) int64, -1 until the replica first becomes legitimate
  * rounds_done    (R,) int64 global per-replica round counters
  * active         (R,) uint8, replicas with 0 are frozen and skipped
- * scratch        (n,) int32 arrivals buffer, all-zero on entry and on exit
- * sources        (n,) int32 scratch for the non-empty-node index list
+ * scratch        (n_threads, n) int32 arrivals buffers, all-zero on entry
+ *                and on exit
+ * sources        (n_threads, n) int32 scratch for non-empty-node lists
+ * n_threads      worker threads for the replica axis (<= 1: serial)
+ * observe_every  fused observation stride (ignored when n_obs == 0)
+ * n_obs          number of fused observation slots; 0 disables observation
+ * obs_max        (n_obs, R) int32 post-round max load per slot, or NULL
+ * obs_empty      (n_obs, R) int32 empty-node count per slot, or NULL
+ * obs_sum        (n_obs, R) int64 load sum per slot, or NULL to skip moments
+ * obs_sumsq      (n_obs, R) int64 load sum-of-squares per slot, or NULL
  */
-void walks_run(int32_t *loads, int64_t R, int64_t n,
-               const int32_t *neighbors, const int64_t *offsets,
-               const int32_t *degrees, const uint32_t *lims,
-               int64_t rounds, uint64_t *rng_state, double threshold,
-               int stop_when_legitimate, int constrained,
+void walks_run(int32_t *loads, int64_t R, int64_t n, const int32_t *neighbors,
+               const int64_t *offsets, const int32_t *degrees,
+               const uint32_t *lims, int64_t rounds, uint64_t *rng_state,
+               double threshold, int stop_when_legitimate, int constrained,
                int32_t *max_seen, int32_t *min_empty_seen,
                int64_t *first_legit, int64_t *rounds_done, uint8_t *active,
-               int32_t *scratch, int32_t *sources)
+               int32_t *scratch, int32_t *sources, int32_t n_threads,
+               int64_t observe_every, int64_t n_obs, int32_t *obs_max,
+               int32_t *obs_empty, int64_t *obs_sum, int64_t *obs_sumsq)
 {
-    const int32_t thr = (int32_t)threshold;
-
-    for (int64_t t = 0; t < rounds; t++) {
-        int any_active = 0;
-        for (int64_t r = 0; r < R; r++) {
-            if (!active[r])
-                continue;
-            any_active = 1;
-            int32_t *row = loads + r * n;
-            rng_t *g = (rng_t *)(rng_state + 4 * r);
-            lanes_t L = {g, 0, 0};
-
-            if (constrained) {
-                /* departures: one token per non-empty node.  A SIMD-
-                 * friendly count first, then the path that fits the
-                 * density: for sparse rows a guarded loop's branch is
-                 * almost always not-taken (predicts perfectly); for dense
-                 * rows a branchless compaction (conditional write-cursor
-                 * increment) avoids mispredicting the random nonempty
-                 * pattern, and the draw loop touches only the cnt
-                 * non-empty nodes. */
-                int64_t cnt = 0;
-                for (int64_t i = 0; i < n; i++)
-                    cnt += (row[i] > 0);
-                if (cnt * 8 < n) { /* sparse */
-                    for (int64_t i = 0; i < n; i++) {
-                        if (row[i] > 0) {
-                            row[i]--;
-                            const uint32_t d = (uint32_t)degrees[i];
-                            const int64_t off = offsets[i];
-                            const int64_t k =
-                                d == 1 ? 0 : (int64_t)bounded(&L, d, lims[i]);
-                            scratch[neighbors[off + k]]++;
-                        }
-                    }
-                } else { /* dense */
-                    int64_t w = 0;
-                    for (int64_t i = 0; i < n; i++) {
-                        const int32_t ne = row[i] > 0;
-                        sources[w] = (int32_t)i;
-                        w += ne;
-                        row[i] -= ne;
-                    }
-                    for (int64_t s = 0; s < cnt; s++) {
-                        const int64_t i = sources[s];
-                        const uint32_t d = (uint32_t)degrees[i];
-                        const int64_t off = offsets[i];
-                        const int64_t k =
-                            d == 1 ? 0 : (int64_t)bounded(&L, d, lims[i]);
-                        scratch[neighbors[off + k]]++;
-                    }
-                }
-            } else {
-                /* every token moves independently */
-                for (int64_t i = 0; i < n; i++) {
-                    const int32_t l = row[i];
-                    if (l > 0) {
-                        row[i] = 0;
-                        const uint32_t d = (uint32_t)degrees[i];
-                        const int64_t off = offsets[i];
-                        const uint32_t lim = lims[i];
-                        for (int32_t b = 0; b < l; b++) {
-                            const int64_t k =
-                                d == 1 ? 0 : (int64_t)bounded(&L, d, lim);
-                            scratch[neighbors[off + k]]++;
-                        }
-                    }
-                }
-            }
-
-            /* arrivals + metrics of the new configuration */
-            int32_t mx = 0;
-            int64_t empty = 0;
-            for (int64_t i = 0; i < n; i++) {
-                const int32_t l = row[i] + scratch[i];
-                row[i] = l;
-                scratch[i] = 0;
-                if (l > mx)
-                    mx = l;
-                empty += (l == 0);
-            }
-            rounds_done[r]++;
-            if (mx > max_seen[r])
-                max_seen[r] = mx;
-            if ((int32_t)empty < min_empty_seen[r])
-                min_empty_seen[r] = (int32_t)empty;
-            if (first_legit[r] < 0 && mx <= thr) {
-                first_legit[r] = rounds_done[r];
-                if (stop_when_legitimate)
-                    active[r] = 0;
-            }
-        }
-        if (!any_active)
-            break;
-    }
+    walks_ctx c;
+    c.loads = loads;
+    c.R = R;
+    c.n = n;
+    c.neighbors = neighbors;
+    c.offsets = offsets;
+    c.degrees = degrees;
+    c.lims = lims;
+    c.rounds = rounds;
+    c.rng_state = rng_state;
+    c.thr = (int32_t)threshold;
+    c.stop_when_legitimate = stop_when_legitimate;
+    c.constrained = constrained;
+    c.max_seen = max_seen;
+    c.min_empty_seen = min_empty_seen;
+    c.first_legit = first_legit;
+    c.rounds_done = rounds_done;
+    c.active = active;
+    c.scratch = scratch;
+    c.sources = sources;
+    c.observe_every = observe_every < 1 ? 1 : observe_every;
+    c.n_obs = (obs_max && obs_empty) ? n_obs : 0;
+    c.obs_max = obs_max;
+    c.obs_empty = obs_empty;
+    c.obs_sum = obs_sum;
+    c.obs_sumsq = obs_sumsq;
+    repro_for_each_replica(&c, walks_replica, R, n_threads);
 }

@@ -42,6 +42,7 @@ from .base import (
     as_batched,
     as_load_matrix,
 )
+from .fused import FusedSegmentStats, fused_needs_moments, supports_fused
 from .payload import MetricPayload, concatenate_payload_maps
 from .registry import METRIC_NAMES, build_trackers, make_tracker, normalize_metric_names
 from .trackers import (
@@ -49,6 +50,7 @@ from .trackers import (
     BatchedEmptyBinsTracker,
     BatchedLegitimacyTracker,
     BatchedLoadHistogramTracker,
+    BatchedLoadMomentsTracker,
     BatchedMaxLoadTracker,
     BatchedTraceRecorder,
 )
@@ -74,9 +76,14 @@ __all__ = [
     "BatchedMaxLoadTracker",
     "BatchedEmptyBinsTracker",
     "BatchedLegitimacyTracker",
+    "BatchedLoadMomentsTracker",
     "BatchedLoadHistogramTracker",
     "BatchedTraceRecorder",
     "BatchedBinEmptyingTracker",
+    # fused (in-kernel) observation
+    "FusedSegmentStats",
+    "supports_fused",
+    "fused_needs_moments",
     # sequential (R == 1) reference trackers
     "MaxLoadTracker",
     "EmptyBinsTracker",

@@ -1,0 +1,90 @@
+"""In-kernel (fused) observation partials and their observer contract.
+
+The native kernels can record streaming per-replica reductions *inside*
+the C round loop — post-round max load, empty-bin count, and optionally
+the load sum and sum of squares — at every ``observe_every`` boundary,
+instead of returning to Python so trackers can scan the full ``(R, n)``
+matrix.  One kernel call then replaces ``ceil(rounds / observe_every)``
+FFI round-trips plus as many full-matrix reductions.
+
+:class:`FusedSegmentStats` is the package those partials travel in: a
+``(T, R)`` block per statistic covering the ``T`` observation points of
+one ``run()`` window.  Everything is integer-valued, so a tracker that
+folds these partials produces **bit-identical** state to observing the
+matrices itself — the Python observation loop stays the semantic
+reference, and the equality is covered by tests.
+
+A tracker opts into fusion by setting the class attribute
+``supports_fused_ingest = True`` and implementing
+``ingest_fused(stats)``; trackers that genuinely need the raw matrix
+(histogram, trace, bin-emptying) simply never set the flag, and the
+engine falls back to the segmented Python loop for the whole observer
+list.  ``fused_needs_moments`` marks trackers that require the optional
+sum/sum-of-squares blocks, so the kernel only pays the extra per-bin
+scan when someone will consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["FusedSegmentStats", "supports_fused", "fused_needs_moments"]
+
+
+@dataclass(frozen=True)
+class FusedSegmentStats:
+    """Per-observation-point reductions recorded inside a native kernel.
+
+    ``rounds[k]`` is the global (1-based) round index of observation
+    point ``k``; all block arrays are ``(T, R)`` with ``T = len(rounds)``
+    observation points over ``R`` replicas.  ``load_sum`` and
+    ``load_sumsq`` are present only when a moments consumer asked for
+    them.
+    """
+
+    rounds: np.ndarray  # (T,) int64 global round indexes
+    max_load: np.ndarray  # (T, R) post-round max load
+    empty_bins: np.ndarray  # (T, R) post-round empty-bin count
+    n_bins: int
+    load_sum: Optional[np.ndarray] = None  # (T, R) int64
+    load_sumsq: Optional[np.ndarray] = None  # (T, R) int64
+
+    def __post_init__(self) -> None:
+        T = len(self.rounds)
+        for label in ("max_load", "empty_bins", "load_sum", "load_sumsq"):
+            block = getattr(self, label)
+            if block is None:
+                continue
+            if block.ndim != 2 or block.shape[0] != T:
+                raise ConfigurationError(
+                    f"fused block {label!r} must be (T, R) with T={T}, "
+                    f"got shape {block.shape}"
+                )
+            if block.shape[1] != self.max_load.shape[1]:
+                raise ConfigurationError(
+                    f"fused block {label!r} disagrees on R: "
+                    f"{block.shape[1]} != {self.max_load.shape[1]}"
+                )
+
+    @property
+    def n_observations(self) -> int:
+        return int(len(self.rounds))
+
+    @property
+    def n_replicas(self) -> int:
+        return int(self.max_load.shape[1])
+
+
+def supports_fused(observer) -> bool:
+    """Whether an observer can ingest fused partials instead of matrices."""
+    return bool(getattr(observer, "supports_fused_ingest", False))
+
+
+def fused_needs_moments(observer) -> bool:
+    """Whether a fused-capable observer needs the sum/sumsq blocks."""
+    return bool(getattr(observer, "fused_needs_moments", False))

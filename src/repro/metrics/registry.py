@@ -22,6 +22,7 @@ from .trackers import (
     BatchedEmptyBinsTracker,
     BatchedLegitimacyTracker,
     BatchedLoadHistogramTracker,
+    BatchedLoadMomentsTracker,
     BatchedMaxLoadTracker,
     BatchedTraceRecorder,
 )
@@ -34,6 +35,7 @@ _FACTORIES: Dict[str, Callable[[float], object]] = {
     "max_load": lambda beta: BatchedMaxLoadTracker(),
     "empty_bins": lambda beta: BatchedEmptyBinsTracker(),
     "legitimacy": lambda beta: BatchedLegitimacyTracker(beta=beta),
+    "moments": lambda beta: BatchedLoadMomentsTracker(),
     "histogram": lambda beta: BatchedLoadHistogramTracker(),
     "trace": lambda beta: BatchedTraceRecorder(),
     "bin_emptying": lambda beta: BatchedBinEmptyingTracker(),

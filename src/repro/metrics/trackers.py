@@ -27,6 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from .base import as_load_matrix, check_trace_budget, resolve_trace_budget
+from .fused import FusedSegmentStats
 from .payload import MetricPayload
 from ..core.config import DEFAULT_BETA, legitimacy_threshold
 from ..errors import ConfigurationError
@@ -35,6 +36,7 @@ __all__ = [
     "BatchedMaxLoadTracker",
     "BatchedEmptyBinsTracker",
     "BatchedLegitimacyTracker",
+    "BatchedLoadMomentsTracker",
     "BatchedLoadHistogramTracker",
     "BatchedTraceRecorder",
     "BatchedBinEmptyingTracker",
@@ -59,6 +61,11 @@ class _BatchedTracker:
 
     #: Payload name; subclasses override.
     metric_name = ""
+    #: Whether this tracker can fold in-kernel partials via
+    #: :meth:`ingest_fused` (see :mod:`repro.metrics.fused`).
+    supports_fused_ingest = False
+    #: Whether fused ingestion needs the load sum / sum-of-squares blocks.
+    fused_needs_moments = False
 
     def __init__(self) -> None:
         self.n_replicas: Optional[int] = None
@@ -99,6 +106,13 @@ class _BatchedTracker:
             self.rounds.append(int(round_index))
         self.rounds_observed += 1
 
+    def _bind_fused(self, stats: FusedSegmentStats) -> None:
+        """Bind dimensions and log observed rounds for a fused segment."""
+        self.bind(stats.n_replicas, stats.n_bins)
+        if self.record_rounds:
+            self.rounds.extend(int(t) for t in stats.rounds)
+        self.rounds_observed += stats.n_observations
+
     def _rounds_array(self) -> np.ndarray:
         return np.asarray(self.rounds, dtype=np.int64)
 
@@ -119,6 +133,9 @@ class _ScalarSeriesTracker(_BatchedTracker):
     series_key = ""
     #: Payload key of the window summary; subclasses override.
     window_key = ""
+    #: :class:`FusedSegmentStats` field this tracker's per-round reduction
+    #: corresponds to; fused-capable subclasses override.
+    fused_field = ""
 
     def __init__(self, record_series: bool = True) -> None:
         super().__init__()
@@ -146,6 +163,23 @@ class _ScalarSeriesTracker(_BatchedTracker):
             self._series.append(value)
         self._accumulate(self._window, value)
         self._last = value
+
+    def ingest_fused(self, stats: FusedSegmentStats) -> None:
+        """Fold a kernel-computed segment of per-round reductions.
+
+        The kernel records the same integer reduction :meth:`_reduce`
+        would compute from the matrix, so the resulting state is
+        bit-identical to having observed every point through
+        :meth:`observe`.
+        """
+        self._bind_fused(stats)
+        block = getattr(stats, self.fused_field)
+        for k in range(stats.n_observations):
+            value = block[k].astype(np.int64)
+            if self.record_series:
+                self._series.append(value)
+            self._accumulate(self._window, value)
+            self._last = value
 
     @property
     def series(self) -> List[np.ndarray]:
@@ -198,6 +232,8 @@ class BatchedMaxLoadTracker(_ScalarSeriesTracker):
     metric_name = "max_load"
     series_key = "max_load"
     window_key = "window_max"
+    fused_field = "max_load"
+    supports_fused_ingest = True
 
     def _initial_window(self) -> np.ndarray:
         return np.zeros(self.n_replicas, dtype=np.int64)
@@ -220,6 +256,8 @@ class BatchedEmptyBinsTracker(_ScalarSeriesTracker):
     metric_name = "empty_bins"
     series_key = "empty_bins"
     window_key = "window_min"
+    fused_field = "empty_bins"
+    supports_fused_ingest = True
 
     def _initial_window(self) -> np.ndarray:
         return np.full(self.n_replicas, self.n_bins, dtype=np.int64)
@@ -268,6 +306,7 @@ class BatchedLegitimacyTracker(_BatchedTracker):
     """
 
     metric_name = "legitimacy"
+    supports_fused_ingest = True
 
     def __init__(self, beta: float = DEFAULT_BETA) -> None:
         super().__init__()
@@ -284,8 +323,8 @@ class BatchedLegitimacyTracker(_BatchedTracker):
         self.violations = np.zeros(R, dtype=np.int64)
         self._threshold = legitimacy_threshold(self.n_bins, self.beta)
 
-    def _update(self, round_index: int, matrix: np.ndarray) -> None:
-        legit = matrix.max(axis=1) <= self._threshold
+    def _fold_legit(self, round_index: int, legit: np.ndarray) -> None:
+        """Fold one observation's per-replica legitimacy flags."""
         newly = legit & (self.first_legitimate_round < 0)
         self.first_legitimate_round[newly] = round_index
         bad = ~legit
@@ -296,6 +335,21 @@ class BatchedLegitimacyTracker(_BatchedTracker):
             & (self.first_violation_after_hit < 0)
         )
         self.first_violation_after_hit[relapsed] = round_index
+
+    def _update(self, round_index: int, matrix: np.ndarray) -> None:
+        self._fold_legit(round_index, matrix.max(axis=1) <= self._threshold)
+
+    def ingest_fused(self, stats: FusedSegmentStats) -> None:
+        """Replay kernel-computed max loads through the legitimacy fold.
+
+        The kernel's per-observation max load is the exact integer the
+        matrix reduction would produce, and the threshold comparison is
+        the same, so fused state is bit-identical to observed state.
+        """
+        self._bind_fused(stats)
+        for k in range(stats.n_observations):
+            legit = stats.max_load[k] <= self._threshold
+            self._fold_legit(int(stats.rounds[k]), legit)
 
     @property
     def converged(self) -> np.ndarray:
@@ -330,6 +384,87 @@ class BatchedLegitimacyTracker(_BatchedTracker):
                 "stable_after_convergence": self.stable_after_convergence.astype(
                     np.int64
                 ),
+            },
+        )
+
+
+class BatchedLoadMomentsTracker(_BatchedTracker):
+    """Streaming per-replica moments of the observed load distribution.
+
+    Accumulates the count of observed (round, bin) values plus the exact
+    integer load sum and sum of squares, from which the per-replica mean
+    and (population) variance over all observed configurations follow.
+
+    Loads are integers, so integer accumulators make the streaming
+    update *exact* — there is nothing for Welford's recurrence to
+    stabilize, and a kernel-side partial (:meth:`ingest_fused`) merges
+    into state bit-identical to Python-side observation.  Only the final
+    mean/variance division happens in floating point.
+    """
+
+    metric_name = "moments"
+    supports_fused_ingest = True
+    fused_needs_moments = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.load_sum: Optional[np.ndarray] = None
+        self.load_sumsq: Optional[np.ndarray] = None
+
+    def _on_bind(self) -> None:
+        R = self.n_replicas
+        self.load_sum = np.zeros(R, dtype=np.int64)
+        self.load_sumsq = np.zeros(R, dtype=np.int64)
+
+    def _update(self, round_index: int, matrix: np.ndarray) -> None:
+        m = matrix.astype(np.int64, copy=False)
+        self.load_sum += m.sum(axis=1)
+        self.load_sumsq += (m * m).sum(axis=1)
+
+    def ingest_fused(self, stats: FusedSegmentStats) -> None:
+        """Merge kernel-computed load sums and sums of squares."""
+        if stats.load_sum is None or stats.load_sumsq is None:
+            raise ConfigurationError(
+                "moments tracker needs fused load_sum/load_sumsq blocks"
+            )
+        self._bind_fused(stats)
+        self.load_sum += stats.load_sum.sum(axis=0)
+        self.load_sumsq += stats.load_sumsq.sum(axis=0)
+
+    @property
+    def count(self) -> int:
+        """Observed (round, bin) values per replica."""
+        return self.rounds_observed * (self.n_bins or 0)
+
+    @property
+    def mean(self) -> Optional[np.ndarray]:
+        """Per-replica mean load over all observed configurations."""
+        if self.load_sum is None or self.count == 0:
+            return None
+        return self.load_sum / self.count
+
+    @property
+    def variance(self) -> Optional[np.ndarray]:
+        """Per-replica population variance of the observed loads."""
+        if self.load_sumsq is None or self.count == 0:
+            return None
+        mean = self.load_sum / self.count
+        return self.load_sumsq / self.count - mean * mean
+
+    def payload(self) -> MetricPayload:
+        R = self.n_replicas or 0
+        mean = self.mean
+        var = self.variance
+        if mean is None:
+            mean = np.zeros(R, dtype=np.float64)
+            var = np.zeros(R, dtype=np.float64)
+        return MetricPayload(
+            name=self.metric_name,
+            rounds=self._rounds_array(),
+            summaries={
+                "mean_load": np.asarray(mean, dtype=np.float64),
+                "load_variance": np.asarray(var, dtype=np.float64),
+                "observations": np.full(R, self.count, dtype=np.int64),
             },
         )
 

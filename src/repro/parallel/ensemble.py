@@ -92,6 +92,7 @@ from ..core.batched import (
     make_ensemble_initial,
 )
 from ..core.config import DEFAULT_BETA, LoadConfiguration, legitimacy_threshold
+from ..core.native import available_cpu_count
 from ..core.process import RepeatedBallsIntoBins
 from ..errors import ConfigurationError
 from ..graphs.batched import BatchedConstrainedWalks
@@ -449,11 +450,13 @@ def _run_sequential(
 # Batched engine (module-level shard function: picklable for the pool)
 # ----------------------------------------------------------------------
 def _make_batched_process(
-    spec: EnsembleSpec, n_replicas: int, initial, seed, kernel: str
+    spec: EnsembleSpec, n_replicas: int, initial, seed, kernel: str,
+    n_threads: Optional[int] = None,
 ) -> BatchedLoadProcess:
     """Build the batched process a shard simulates."""
     n_balls = spec.n_balls if initial is None else None
     if spec.process == "d_choices":
+        # numpy-only process: no native kernel, nothing to thread
         return BatchedDChoices(
             spec.n_bins,
             n_replicas,
@@ -471,6 +474,7 @@ def _make_batched_process(
             constrained=spec.constrained,
             seed=seed,
             kernel=kernel,
+            n_threads=n_threads,
         )
     return BatchedRepeatedBallsIntoBins(
         spec.n_bins,
@@ -479,11 +483,13 @@ def _make_batched_process(
         initial=initial,
         seed=seed,
         kernel=kernel,
+        n_threads=n_threads,
     )
 
 
 def _batched_ensemble_shard(
-    shard_index, seed, spec: EnsembleSpec, bounds, kernel: str
+    shard_index, seed, spec: EnsembleSpec, bounds, kernel: str,
+    n_threads: Optional[int] = None,
 ) -> EnsembleResult:
     lo, hi = bounds[shard_index]
     init_seq, sim_seq = seed.spawn(2)
@@ -500,6 +506,7 @@ def _batched_ensemble_shard(
             initial=initial,
             seed=sim_seq,
             kernel=kernel,
+            n_threads=n_threads,
         )
         result = faulty.run(
             spec.rounds,
@@ -508,7 +515,9 @@ def _batched_ensemble_shard(
             observe_every=spec.observe_every,
         ).to_ensemble_result()
     else:
-        batch = _make_batched_process(spec, hi - lo, initial, sim_seq, kernel)
+        batch = _make_batched_process(
+            spec, hi - lo, initial, sim_seq, kernel, n_threads=n_threads
+        )
         if spec.warmup_rounds:
             # metric tracking (and therefore observation) starts after the
             # warm-up window, as for the sequential engine
@@ -525,17 +534,32 @@ def _batched_ensemble_shard(
 
 
 def _run_batched(
-    spec: EnsembleSpec, seed: SeedLike, n_workers: int, kernel: str
+    spec: EnsembleSpec,
+    seed: SeedLike,
+    n_workers: int,
+    kernel: str,
+    n_threads: Optional[int] = None,
 ) -> EnsembleResult:
     runner = TrialRunner(n_workers=n_workers)
     n_shards = max(min(runner.effective_workers, spec.n_replicas), 1)
+    if n_threads is None and n_shards > 1:
+        # Sharded run: split the machine between shards so shard-level
+        # processes and kernel-level threads do not oversubscribe cores.
+        # An explicit n_threads (argument or REPRO_NATIVE_THREADS, resolved
+        # inside the kernel launch) overrides this.
+        n_threads = max(1, available_cpu_count() // n_shards)
     edges = np.linspace(0, spec.n_replicas, n_shards + 1).astype(int)
     bounds = [(int(edges[s]), int(edges[s + 1])) for s in range(n_shards)]
     shards = runner.run(
         _batched_ensemble_shard,
         n_shards,
         seed=seed,
-        kwargs={"spec": spec, "bounds": bounds, "kernel": kernel},
+        kwargs={
+            "spec": spec,
+            "bounds": bounds,
+            "kernel": kernel,
+            "n_threads": n_threads,
+        },
     )
     return EnsembleResult.concatenate(shards)
 
@@ -546,6 +570,7 @@ def run_ensemble(
     engine: str = "auto",
     n_workers: int = 0,
     kernel: str = "auto",
+    n_threads: Optional[int] = None,
 ) -> EnsembleResult:
     """Run one ensemble through the selected engine.
 
@@ -567,6 +592,12 @@ def run_ensemble(
         Kernel selection forwarded to the batched repeated balls-into-bins
         engine (``"auto"``/``"numpy"``/``"native"``); the batched Greedy[d]
         process is numpy-only.
+    n_threads:
+        Native-kernel threads per shard (an execution knob like ``kernel``
+        and ``n_workers``: results are bit-identical for every value).
+        ``None`` defers to ``REPRO_NATIVE_THREADS`` and then to the visible
+        CPU count — except in sharded runs, where the default splits the
+        machine across shards to avoid oversubscription.
     """
     if engine not in ENGINES:
         raise ConfigurationError(
@@ -577,4 +608,4 @@ def run_ensemble(
     root = as_seed_sequence(seed)
     if engine == "sequential":
         return _run_sequential(spec, root, n_workers)
-    return _run_batched(spec, root, n_workers, kernel)
+    return _run_batched(spec, root, n_workers, kernel, n_threads)

@@ -22,7 +22,9 @@ from simulation time.
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Union
@@ -31,7 +33,7 @@ import numpy as np
 
 from .plan import SweepPlan, expand_sweep
 from .spec import SweepSpec
-from ..core.native import native_available
+from ..core.native import available_cpu_count, native_available, resolve_n_threads
 from ..errors import ConfigurationError
 from ..parallel.ensemble import run_ensemble
 from ..rng import as_seed_sequence
@@ -118,11 +120,16 @@ def _resolve_kernel(kernel: str, plan: SweepPlan) -> str:
 
 
 def _header(
-    spec: SweepSpec, seed: SeedLike, engine: str, kernel: str, n_workers: int
+    spec: SweepSpec,
+    seed: SeedLike,
+    engine: str,
+    kernel: str,
+    n_workers: int,
+    n_threads: Optional[int] = None,
 ) -> dict:
     root = as_seed_sequence(seed)
     entropy = root.entropy
-    return {
+    header = {
         "version": HEADER_VERSION,
         "spec": spec.to_dict(),
         "seed_entropy": entropy if isinstance(entropy, int) else list(entropy),
@@ -131,6 +138,43 @@ def _header(
         "kernel": kernel,
         "n_workers": int(n_workers),
     }
+    if n_threads is not None:
+        # Results are thread-count invariant (bit-identical trajectories),
+        # so n_threads is pinned only when explicitly requested — stores
+        # written before the knob existed stay resumable unchanged.
+        header["n_threads"] = int(n_threads)
+    return header
+
+
+def _cap_threads(n_threads: Optional[int], n_workers: int) -> Optional[int]:
+    """Keep ``workers x threads`` within the visible CPU budget.
+
+    Only an *explicit* thread request (argument or ``REPRO_NATIVE_THREADS``)
+    can oversubscribe: with ``n_threads=None`` and no env override the
+    engine already splits the machine across shards.  When the combined
+    request exceeds the visible cores, warn and reduce the *executed*
+    thread count; the header still pins what was requested, so resumes
+    on bigger machines run unreduced.
+    """
+    requested = n_threads
+    if requested is None:
+        if os.environ.get("REPRO_NATIVE_THREADS") is None:
+            return None
+        requested = resolve_n_threads()
+    workers = max(int(n_workers), 1)
+    cores = available_cpu_count()
+    if workers * int(requested) > cores:
+        capped = max(1, cores // workers)
+        warnings.warn(
+            f"sweep would run {workers} worker(s) x {requested} native "
+            f"thread(s) on {cores} visible core(s); reducing to "
+            f"{capped} thread(s) per worker to avoid oversubscription "
+            "(results are identical for any thread count)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return capped
+    return int(requested)
 
 
 def run_sweep(
@@ -140,6 +184,7 @@ def run_sweep(
     engine: str = "auto",
     kernel: str = "auto",
     n_workers: int = 0,
+    n_threads: Optional[int] = None,
     max_points: Optional[int] = None,
     progress: Progress = None,
 ) -> SweepReport:
@@ -160,6 +205,13 @@ def run_sweep(
         shards each point's replicas across a process pool.  All three
         are part of the store header: resuming with different values is
         refused (batched results depend on the shard layout).
+    n_threads:
+        Native-kernel threads per shard, forwarded to :func:`run_ensemble`.
+        Unlike the header triple above this is an execution knob — results
+        are bit-identical for any value — but an explicit request is still
+        recorded in the header (and replayed on resume) for provenance.
+        When ``max(n_workers, 1) * n_threads`` exceeds the visible cores
+        the scheduler warns and reduces the executed thread count.
     max_points:
         Stop after newly running this many points (budgeted execution /
         simulated kill); completed points do not count.
@@ -174,8 +226,9 @@ def run_sweep(
     plan = expand_sweep(spec)
     kernel = _resolve_kernel(kernel, plan)
     result_store = _coerce_store(store)
-    header = _header(spec, seed, engine, kernel, n_workers)
+    header = _header(spec, seed, engine, kernel, n_workers, n_threads)
     result_store.write_header(header)
+    run_threads = _cap_threads(n_threads, n_workers)
 
     completed = result_store.completed_point_ids()
     report = SweepReport(
@@ -199,6 +252,7 @@ def run_sweep(
             engine=engine,
             n_workers=n_workers,
             kernel=kernel,
+            n_threads=run_threads,
         )
         report.engine_seconds += time.perf_counter() - engine_started
         result_store.append_point(
@@ -251,6 +305,7 @@ def resume_sweep(
         engine=header["engine"],
         kernel=header["kernel"],
         n_workers=header["n_workers"],
+        n_threads=header.get("n_threads"),
         max_points=max_points,
         progress=progress,
     )
