@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Render ``docs/VERIFICATION.md`` from the conformance-case catalog.
+
+The matrix is *generated*: every :class:`repro.verify.ConformanceCase`
+contributes its engine coordinate, process, size, horizons, and exact
+ground truth, so the document can never drift from the enforced
+coverage — CI runs ``--check`` and fails when the checked-in file is
+stale.
+
+Usage::
+
+    python scripts/generate_verification_matrix.py           # rewrite the matrix
+    python scripts/generate_verification_matrix.py --check   # fail if stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.verify import render_verification_doc  # noqa: E402
+
+MATRIX_PATH = ROOT / "docs" / "VERIFICATION.md"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the checked-in matrix differs from the "
+        "rendered one (used by CI)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(MATRIX_PATH),
+        help=f"output path (default {MATRIX_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    rendered = render_verification_doc()
+    target = Path(args.out)
+    if args.check:
+        if not target.exists():
+            print(f"STALE: {target} does not exist; regenerate with "
+                  f"`python {Path(__file__).relative_to(ROOT)}`")
+            return 1
+        current = target.read_text()
+        if current != rendered:
+            print(
+                f"STALE: {target} does not match the verify catalog; "
+                f"regenerate with `python {Path(__file__).relative_to(ROOT)}`"
+            )
+            return 1
+        print(f"{target} is up to date")
+        return 0
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(rendered)
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,12 @@ Sub-commands
     catalogued or JSON-file sweep into a store directory, resume a killed
     sweep without re-running completed points, inspect completion state,
     and query stored point summaries as tables.
+``verify``
+    Exact-chain conformance harness: drive every engine coordinate
+    (engine x kernel x threads x fusion x workers) at small ``n`` and
+    gate its empirical distributions against the exactly enumerated
+    Markov chains of ``repro.markov``.  Failures write replayable
+    counterexample artifacts; ``--replay`` re-runs one from its file.
 """
 
 from __future__ import annotations
@@ -228,6 +234,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_query.add_argument(
         "--csv", dest="csv_path", default=None, help="also write the rows as CSV"
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="conformance-check every engine against the exact small-n chains",
+    )
+    verify.add_argument(
+        "--level",
+        choices=["smoke", "full"],
+        default="smoke",
+        help="smoke = the fast CI gate; full = the pre-merge cross product",
+    )
+    verify.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    verify.add_argument(
+        "--only",
+        default=None,
+        metavar="SUBSTR",
+        help=(
+            "restrict to cases whose name contains SUBSTR (thresholds stay "
+            "those of the unfiltered run)"
+        ),
+    )
+    verify.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="directory for counterexample artifacts (default .verify)",
+    )
+    verify.add_argument(
+        "--no-artifacts",
+        action="store_true",
+        help="do not write counterexample artifacts on failure",
+    )
+    verify.add_argument(
+        "--replay",
+        default=None,
+        metavar="ARTIFACT",
+        help="re-run exactly the failing check recorded in an artifact JSON",
+    )
+    verify.add_argument(
+        "--list", action="store_true", help="list the catalog cases and exit"
     )
     return parser
 
@@ -472,6 +519,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     raise ReproError(f"unknown sweep command {args.sweep_command!r}")
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import (
+        DEFAULT_ARTIFACT_DIR,
+        build_cases,
+        replay_artifact,
+        run_conformance,
+    )
+
+    if args.replay is not None:
+        report = replay_artifact(args.replay)
+        print(report.render())
+        return 0 if report.passed else 1
+    if args.list:
+        rows = [
+            {
+                "case": case.name,
+                "engine": case.engine_label,
+                "horizons": ",".join(str(h) for h in case.horizons),
+                "ground_truth": case.ground_truth,
+            }
+            for case in build_cases(args.level)
+        ]
+        print(format_table(rows, columns=["case", "engine", "horizons", "ground_truth"]))
+        return 0
+    artifacts_dir = None if args.no_artifacts else (args.artifacts or DEFAULT_ARTIFACT_DIR)
+    report = run_conformance(
+        args.level, seed=args.seed, only=args.only, artifacts_dir=artifacts_dir
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_full_report
 
@@ -498,6 +577,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

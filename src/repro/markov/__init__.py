@@ -17,7 +17,10 @@ from .chain import FiniteMarkovChain
 from .small_n import (
     arrival_joint_distribution_n2,
     enumerate_configurations,
+    exact_greedy_d_transition_matrix,
     exact_rbb_transition_matrix,
+    exact_token_transition_matrix,
+    exact_walk_transition_matrix,
 )
 from .spectral import mixing_time_bound, spectral_gap, total_variation_distance
 
@@ -27,6 +30,9 @@ __all__ = [
     "absorption_tail_bound",
     "enumerate_configurations",
     "exact_rbb_transition_matrix",
+    "exact_greedy_d_transition_matrix",
+    "exact_token_transition_matrix",
+    "exact_walk_transition_matrix",
     "arrival_joint_distribution_n2",
     "total_variation_distance",
     "spectral_gap",

@@ -1,0 +1,170 @@
+"""Exact-chain audits of the batched engine's edge branches at n=2, m=2.
+
+The verify-harness bugfix sweep: the idle-replica branch, the
+``stop_when_legitimate`` pre-check, mixed activity masks, and
+``observe_every`` segment restarts (numpy and native, fused and
+segmented) are each driven at the smallest non-trivial system and
+compared against powers of the exact transition matrix — the branches
+that a plain end-to-end run never isolates.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedRepeatedBallsIntoBins
+from repro.core.config import legitimacy_threshold
+from repro.markov.small_n import exact_rbb_transition_matrix
+from repro.verify.cases import native_kernel_available
+from repro.verify.stats import pooled_chi_square
+
+needs_native = pytest.mark.skipif(
+    not native_kernel_available("rbb"), reason="native rbb kernel unavailable"
+)
+
+START = (2, 0)
+R = 8000
+ALPHA = 1e-4
+
+P, STATES = exact_rbb_transition_matrix(2, 2)
+INDEX = {s: i for i, s in enumerate(STATES)}
+
+
+def _dist_after(rounds: int) -> np.ndarray:
+    mu = np.zeros(len(STATES))
+    mu[INDEX[START]] = 1.0
+    return mu @ np.linalg.matrix_power(P, rounds)
+
+
+def _counts_of(loads: np.ndarray) -> np.ndarray:
+    counts = np.zeros(len(STATES))
+    for row in loads:
+        counts[INDEX[tuple(int(x) for x in row)]] += 1
+    return counts
+
+
+def _engine(seed: int, kernel: str = "numpy", n_replicas: int = R):
+    initial = np.tile(np.array(START), (n_replicas, 1))
+    return BatchedRepeatedBallsIntoBins(
+        2, n_replicas, initial=initial, seed=seed, kernel=kernel
+    )
+
+
+class TestSegmentRestarts:
+    def test_repeated_run_calls_match_exact_chain(self):
+        """run(1) x 4 through the public API == one P^4 step distribution."""
+        batch = _engine(seed=1)
+        for _ in range(4):
+            result = batch.run(1)
+        gof = pooled_chi_square(_counts_of(result.final_loads), _dist_after(4))
+        assert gof.passed(ALPHA), gof
+
+    def test_idle_calls_do_not_perturb_the_chain(self):
+        """Interleaved run(0) calls consume no randomness and change nothing."""
+        batch = _engine(seed=2)
+        batch.run(0)
+        first = batch.run(2)
+        idle = batch.run(0)
+        result = batch.run(2)
+        gof = pooled_chi_square(_counts_of(result.final_loads), _dist_after(4))
+        assert gof.passed(ALPHA), gof
+        # the idle call's window statistics report the *observed* current
+        # configuration (the branch the harness distribution-tests here)
+        assert np.array_equal(idle.max_load_seen, first.final_loads.max(axis=1))
+        assert np.array_equal(
+            idle.min_empty_bins_seen, (first.final_loads == 0).sum(axis=1)
+        )
+
+    def test_windows_are_fresh_per_run_call(self):
+        """A second run() call's window covers only its own rounds."""
+        batch = _engine(seed=3, n_replicas=2000)
+        snapshots = []
+
+        def record(round_index, loads):
+            snapshots.append((int(round_index), loads.copy()))
+
+        batch.run(3, observers=record, observe_every=1)
+        second = batch.run(3, observers=record, observe_every=1)
+        tail = [loads for r, loads in snapshots if r >= 4]
+        assert np.array_equal(
+            second.max_load_seen, np.max([s.max(axis=1) for s in tail], axis=0)
+        )
+        assert np.array_equal(
+            second.min_empty_bins_seen,
+            np.min([(s == 0).sum(axis=1) for s in tail], axis=0),
+        )
+
+
+class TestLegitimacyPreCheck:
+    def test_legitimate_start_freezes_before_round_one(self):
+        # at n=2 the threshold is 4.0, so m=2 configurations are always
+        # legitimate: every replica must freeze at round 0 untouched
+        initial = np.tile(np.array((1, 1)), (200, 1))
+        batch = BatchedRepeatedBallsIntoBins(2, 200, initial=initial, seed=4)
+        result = batch.run(5, stop_when_legitimate=True)
+        assert (result.first_legitimate_round == 0).all()
+        assert set(result.rounds.tolist()) == {0}
+        assert (result.final_loads == initial).all()
+        # frozen replicas report their observed configuration
+        assert set(result.max_load_seen.tolist()) == {1}
+        assert set(result.min_empty_bins_seen.tolist()) == {0}
+
+    def test_mixed_activity_masks_only_advance_active_replicas(self):
+        """Half frozen at round 0, half active: the masked kernel branch."""
+        threshold = legitimacy_threshold(2)
+        half = 1000
+        initial = np.vstack(
+            [np.tile([6, 0], (half, 1)), np.tile([3, 3], (half, 1))]
+        )
+        batch = BatchedRepeatedBallsIntoBins(2, 2 * half, initial=initial, seed=5)
+        result = batch.run(3, stop_when_legitimate=True)
+        # the balanced half is legitimate immediately and never advances
+        assert (result.first_legitimate_round[half:] == 0).all()
+        assert (result.final_loads[half:] == [3, 3]).all()
+        assert set(result.rounds[half:].tolist()) == {0}
+        # the concentrated half freezes exactly when its max drops under
+        # the threshold, never after
+        active = result.final_loads[:half]
+        hit = result.first_legitimate_round[:half]
+        assert (
+            ((hit >= 0) & (active.max(axis=1) <= threshold))
+            | ((hit < 0) & (active.max(axis=1) > threshold))
+        ).all()
+
+
+@needs_native
+class TestNativeSegmentedRestarts:
+    def test_uneven_final_segment_matches_exact_chain(self):
+        """observe_every=2 over 5 rounds: the 1-round tail segment."""
+        batch = _engine(seed=6, kernel="native")
+        observed = []
+        result = batch.run(
+            5, observers=lambda r, loads: observed.append(int(r)), observe_every=2
+        )
+        assert observed == [2, 4, 5]
+        gof = pooled_chi_square(_counts_of(result.final_loads), _dist_after(5))
+        assert gof.passed(ALPHA), gof
+
+    def test_segmented_fallback_is_bit_identical(self):
+        batch = _engine(seed=6, kernel="native")
+        fused = batch.run(5, observe_every=2)
+        os.environ["REPRO_NATIVE_FUSED"] = "0"
+        try:
+            batch = _engine(seed=6, kernel="native")
+            segmented = batch.run(5, observe_every=2)
+        finally:
+            del os.environ["REPRO_NATIVE_FUSED"]
+        assert (fused.final_loads == segmented.final_loads).all()
+        assert (fused.max_load_seen == segmented.max_load_seen).all()
+        assert (fused.min_empty_bins_seen == segmented.min_empty_bins_seen).all()
+
+    def test_restarted_native_segments_match_exact_chain(self):
+        """run(2) x 3 with observe_every=2: segment state across calls."""
+        batch = _engine(seed=7, kernel="native")
+        for _ in range(3):
+            result = batch.run(2, observe_every=2)
+        gof = pooled_chi_square(_counts_of(result.final_loads), _dist_after(6))
+        assert gof.passed(ALPHA), gof

@@ -287,3 +287,34 @@ class TestSweepCli:
         assert csv_path.exists()
         header = csv_path.read_text().splitlines()[0]
         assert "point_id" in header and "window_max_load_mean" in header
+
+
+class TestVerifyCommand:
+    def test_parser_parses_verify(self):
+        parser = build_parser()
+        args = parser.parse_args(["verify", "--level", "full", "--only", "token"])
+        assert args.command == "verify"
+        assert args.level == "full"
+        assert args.only == "token"
+
+    def test_verify_rejects_unknown_level(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["verify", "--level", "bogus"])
+
+    def test_verify_list(self, capsys):
+        assert main(["verify", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "rbb-batched-numpy" in out
+        assert "exact_rbb_transition_matrix" in out
+
+    def test_verify_single_case_runs_and_passes(self, capsys):
+        code = main(["verify", "--only", "token-fifo", "--no-artifacts", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verify smoke: PASS" in out
+        assert "token-fifo" in out
+
+    def test_verify_replay_missing_artifact_errors(self, capsys):
+        assert main(["verify", "--replay", "/nonexistent/artifact.json"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -167,3 +167,132 @@ class TestAgreementWithSimulation:
         # total-variation distance between empirical occupancy and pi is small
         tv = 0.5 * float(np.abs(empirical - pi).sum())
         assert tv < 0.05
+
+
+class TestProcessChains:
+    """Exact chains for Greedy[d], the token process, and graph walks."""
+
+    def test_all_exact_matrices_are_row_stochastic(self):
+        from repro.graphs.generators import resolve_topology
+        from repro.markov.small_n import (
+            exact_greedy_d_transition_matrix,
+            exact_token_transition_matrix,
+            exact_walk_transition_matrix,
+        )
+
+        matrices = [
+            exact_rbb_transition_matrix(3),
+            exact_greedy_d_transition_matrix(3, d=2),
+            exact_token_transition_matrix(3),
+            exact_walk_transition_matrix(resolve_topology("cycle:3")),
+            exact_walk_transition_matrix(
+                resolve_topology("star:3"), constrained=False
+            ),
+        ]
+        for P, states in matrices:
+            assert P.shape == (len(states), len(states))
+            assert np.all(P >= 0)
+            assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_greedy_d1_reduces_to_rbb(self):
+        """With d=1 the candidate set is a single uniform bin: exactly RBB."""
+        from repro.markov.small_n import exact_greedy_d_transition_matrix
+
+        P_rbb, states_rbb = exact_rbb_transition_matrix(3)
+        P_g1, states_g1 = exact_greedy_d_transition_matrix(3, d=1)
+        assert states_rbb == states_g1
+        assert np.allclose(P_rbb, P_g1)
+
+    def test_greedy_d2_concentrates_less_than_rbb(self):
+        """Two choices make the fully-concentrated state strictly rarer."""
+        from repro.markov.small_n import exact_greedy_d_chain
+
+        chain_rbb = exact_rbb_chain(3)
+        chain_g2 = exact_greedy_d_chain(3, d=2)
+        assert chain_rbb.state_labels == chain_g2.state_labels
+        index = {s: i for i, s in enumerate(chain_rbb.state_labels)}
+        pi_rbb = chain_rbb.stationary_distribution()
+        pi_g2 = chain_g2.stationary_distribution()
+        concentrated = pi_rbb[index[(3, 0, 0)]], pi_g2[index[(3, 0, 0)]]
+        assert concentrated[1] < concentrated[0]
+
+    def test_token_chain_equals_rbb_chain(self):
+        """Queue discipline does not affect load dynamics (load-level invariance)."""
+        from repro.markov.small_n import exact_token_transition_matrix
+
+        P_rbb, states_rbb = exact_rbb_transition_matrix(3)
+        P_tok, states_tok = exact_token_transition_matrix(3)
+        assert states_rbb == states_tok
+        assert np.allclose(P_rbb, P_tok)
+
+    def test_complete_graph_walk_equals_rbb(self):
+        """Constrained walks on complete:n with self-loops are exactly RBB."""
+        from repro.graphs.generators import resolve_topology
+        from repro.markov.small_n import exact_walk_transition_matrix
+
+        P_rbb, states_rbb = exact_rbb_transition_matrix(3)
+        P_walk, states_walk = exact_walk_transition_matrix(
+            resolve_topology("complete:3")
+        )
+        assert states_rbb == states_walk
+        assert np.allclose(P_rbb, P_walk)
+
+    def test_cycle_walk_differs_from_rbb(self):
+        from repro.graphs.generators import resolve_topology
+        from repro.markov.small_n import exact_walk_transition_matrix
+
+        P_rbb, _ = exact_rbb_transition_matrix(3)
+        P_walk, _ = exact_walk_transition_matrix(resolve_topology("cycle:3"))
+        assert not np.allclose(P_rbb, P_walk)
+
+
+class TestSpectralCrossModule:
+    """The exact chains feed repro.markov.spectral without adaptation."""
+
+    def test_rbb_chain_has_positive_spectral_gap(self):
+        from repro.markov.spectral import spectral_gap
+
+        chain = exact_rbb_chain(3)
+        gap = spectral_gap(chain.transition_matrix)
+        assert 0.0 < gap <= 1.0
+
+    def test_mixing_time_bound_consistent_with_exact_powers(self):
+        """After the spectral mixing-time bound, chain powers are within eps of pi."""
+        from repro.markov.spectral import (
+            empirical_mixing_time,
+            total_variation_distance,
+        )
+
+        chain = exact_rbb_chain(3)
+        P = chain.transition_matrix
+        pi = chain.stationary_distribution()
+        eps = 0.01
+        t_mix = 0
+        for start in range(len(pi)):
+            mu = np.zeros(len(pi))
+            mu[start] = 1.0
+            t = empirical_mixing_time(P, mu, epsilon=eps)
+            assert t is not None
+            t_mix = max(t_mix, t)
+        assert t_mix >= 1
+        worst = 0.0
+        for start in range(len(pi)):
+            mu = np.zeros(len(pi))
+            mu[start] = 1.0
+            dist = mu @ np.linalg.matrix_power(P, t_mix)
+            worst = max(worst, total_variation_distance(dist, pi))
+        assert worst <= eps + 1e-9
+
+    def test_spectral_tv_matches_verify_stats_tv(self):
+        """Two independent TV implementations agree on the same pmfs."""
+        from repro.markov.spectral import total_variation_distance
+        from repro.verify.stats import total_variation
+
+        chain = exact_rbb_chain(3)
+        pi = chain.stationary_distribution()
+        mu = np.zeros(len(pi))
+        mu[0] = 1.0
+        one_step = mu @ chain.transition_matrix
+        assert total_variation(one_step, pi) == pytest.approx(
+            total_variation_distance(one_step, pi)
+        )

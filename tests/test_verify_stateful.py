@@ -1,0 +1,126 @@
+"""Stateful property tests: interleaved injection, segments, and observation.
+
+A hypothesis :class:`RuleBasedStateMachine` drives one batched ensemble
+through arbitrary interleavings of ``run`` segments (varying length and
+observation stride), ball-conserving ``inject_loads`` calls, and
+observer attachment — the adversarial usage pattern of the Section 4.1
+fault model — while machine-checking the engine's contract after every
+step: conservation, non-negativity, monotone round counters, the
+idle-replica window convention, and exact window statistics whenever the
+observation stride is 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.batched import BatchedRepeatedBallsIntoBins
+
+N_BINS = 4
+N_REPLICAS = 3
+
+
+class _Recorder:
+    """Observer stub: records every ``(round_index, loads)`` observation."""
+
+    def __init__(self):
+        self.rounds = []
+        self.snapshots = []
+
+    def __call__(self, round_index, loads):
+        self.rounds.append(int(round_index))
+        self.snapshots.append(np.array(loads, copy=True))
+
+
+class BatchedEngineMachine(RuleBasedStateMachine):
+    @initialize(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        balls_per_bin=st.integers(min_value=1, max_value=3),
+    )
+    def setup(self, seed, balls_per_bin):
+        initial = np.full((N_REPLICAS, N_BINS), balls_per_bin, dtype=np.int64)
+        self.batch = BatchedRepeatedBallsIntoBins(
+            N_BINS, N_REPLICAS, initial=initial, seed=seed, kernel="numpy"
+        )
+        self.totals = initial.sum(axis=1)
+        self.rounds_done = np.zeros(N_REPLICAS, dtype=np.int64)
+
+    @rule(
+        rounds=st.integers(min_value=0, max_value=5),
+        stride=st.integers(min_value=1, max_value=3),
+    )
+    def run_segment(self, rounds, stride):
+        recorder = _Recorder()
+        before = self.batch.loads
+        result = self.batch.run(rounds, observers=recorder, observe_every=stride)
+
+        assert np.array_equal(result.rounds, np.full(N_REPLICAS, rounds))
+        assert np.all(result.final_loads >= 0)
+        assert np.array_equal(result.final_loads.sum(axis=1), self.totals)
+        self.rounds_done += rounds
+
+        if rounds == 0:
+            # idle branch: no observation fires, and the window statistics
+            # report the *current* configuration, not zeros
+            assert recorder.rounds == []
+            assert np.array_equal(result.max_load_seen, before.max(axis=1))
+            assert np.array_equal(
+                result.min_empty_bins_seen, (before == 0).sum(axis=1)
+            )
+            return
+
+        # the final executed round is always observed, stride notwithstanding
+        assert recorder.rounds[-1] == int(self.rounds_done[0])
+        assert np.array_equal(recorder.snapshots[-1], result.final_loads)
+        expected_observations = -(-rounds // stride)  # ceil
+        assert len(recorder.rounds) == expected_observations
+
+        observed_max = np.max([s.max(axis=1) for s in recorder.snapshots], axis=0)
+        observed_min_empty = np.min(
+            [(s == 0).sum(axis=1) for s in recorder.snapshots], axis=0
+        )
+        if stride == 1:
+            # every post-round configuration was observed: windows are exact
+            assert np.array_equal(result.max_load_seen, observed_max)
+            assert np.array_equal(result.min_empty_bins_seen, observed_min_empty)
+        else:
+            # sub-sampled observation can only under-estimate the window
+            assert np.all(result.max_load_seen >= observed_max)
+            assert np.all(result.min_empty_bins_seen <= observed_min_empty)
+
+    @rule(shift=st.integers(min_value=1, max_value=N_BINS - 1))
+    def inject_rolled_loads(self, shift):
+        # a per-replica cyclic shift conserves every replica's total
+        rolled = np.roll(self.batch.loads, shift, axis=1)
+        self.batch.inject_loads(rolled)
+        assert np.array_equal(self.batch.loads, rolled)
+
+    @rule()
+    def inject_concentrated_loads(self):
+        # adversarial concentration: all of each replica's balls in bin 0
+        concentrated = np.zeros((N_REPLICAS, N_BINS), dtype=np.int64)
+        concentrated[:, 0] = self.totals
+        self.batch.inject_loads(concentrated)
+        assert np.array_equal(self.batch.loads, concentrated)
+
+    @invariant()
+    def conservation_and_counters(self):
+        if not hasattr(self, "batch"):
+            return
+        loads = self.batch.loads
+        assert np.all(loads >= 0)
+        assert np.array_equal(loads.sum(axis=1), self.totals)
+        assert np.array_equal(self.batch.rounds_completed, self.rounds_done)
+
+
+BatchedEngineMachine.TestCase.settings = settings(
+    max_examples=25,
+    stateful_step_count=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TestBatchedEngineStateful = BatchedEngineMachine.TestCase
