@@ -37,6 +37,13 @@ Scenarios:
     kernel's floor rises to ``min(50, 10 * visible_cores)`` (was 10x);
     the numpy batched walks are compared at ``R = 256`` against a 1.2x
     floor.
+``scenario``
+    A three-event scenario (burst / adversary strike / drain) through the
+    ``repro.scenarios`` interpreter vs the identical workload hand-coded
+    as direct segment runs and state edits.  Both sides are best-of-5,
+    interleaved; the interpreter must stay within **5%** of the hand-segmented run
+    (speedup >= 0.95), so compiling and folding never become a tax on
+    native-kernel segments.
 
 Run standalone::
 
@@ -83,6 +90,8 @@ NUMPY_TARGET = 1.2
 #: Batched Greedy[2] / adversarial ensembles keep their 10x floors.
 DCHOICES_TARGET = 10.0
 FAULTY_TARGET = 10.0
+#: The scenario interpreter must stay within 5% of a hand-segmented run.
+SCENARIO_OVERHEAD_TARGET = 0.95
 
 
 def prorated(full_target: float, per_core_floor: float) -> float:
@@ -172,7 +181,67 @@ def _spec(scale: Scale, n_replicas: int, process: str = "rbb") -> EnsembleSpec:
             topology=WALKS_TOPOLOGY,
             **common,
         )
+    if process == "scenario":
+        import json
+
+        return EnsembleSpec(
+            rounds=scale.rounds,
+            scenario=json.dumps({"events": _scenario_events(scale.rounds)}),
+            **common,
+        )
     raise ValueError(process)
+
+
+def _scenario_events(rounds: int) -> List[dict]:
+    """The benchmark's three-event schedule, scaled to the round window."""
+    return [
+        {"kind": "burst", "round": max(rounds // 4, 1), "count": N_BINS // 4},
+        {
+            "kind": "adversary",
+            "round": max(rounds // 2, 2),
+            "adversary": "concentrate",
+        },
+        {"kind": "drain", "round": max(3 * rounds // 4, 3), "count": N_BINS // 4},
+    ]
+
+
+def _timed_hand_segmented(scale: Scale, n_replicas: int, kernel: str) -> float:
+    """The scenario workload hand-coded against the process API directly.
+
+    Runs the exact segment/edit sequence the interpreter would issue —
+    engine calls between event rounds, vectorized state edits at them —
+    with none of the scenario machinery, so the difference to the
+    ``scenario`` case is pure compile/fold/dispatch overhead.
+    """
+    from repro.core.batched import BatchedRepeatedBallsIntoBins
+    from repro.core.config import LoadConfiguration
+    from repro.scenarios.events import apply_event
+    from repro.scenarios.spec import CONSERVING_KINDS, ScenarioEvent
+
+    events = [
+        (entry["round"], ScenarioEvent.from_dict(entry))
+        for entry in _scenario_events(scale.rounds)
+    ]
+    start = time.perf_counter()
+    process = BatchedRepeatedBallsIntoBins(
+        N_BINS,
+        n_replicas,
+        initial=LoadConfiguration.balanced(N_BINS),
+        seed=SEED,
+        kernel=kernel,
+    )
+    cursor = 0
+    for when, event in events:
+        if when - 1 > cursor:
+            process.run(when - 1 - cursor)
+            cursor = when - 1
+        edited = apply_event(event, process.loads, process.rng)
+        if event.kind in CONSERVING_KINDS:
+            process.inject_loads(edited)
+        else:
+            process.replace_loads(edited)
+    process.run(scale.rounds - cursor)
+    return max(time.perf_counter() - start, 1e-9)
 
 
 def _timed(spec: EnsembleSpec, engine: str, kernel: str = "auto") -> float:
@@ -285,6 +354,26 @@ def measure(scale: Scale = FULL) -> Dict[str, dict]:
             scale.walks_rounds,
             w_per_replica * scale.native_replicas / wnat,
         )
+
+    # --- scenario interpreter overhead -------------------------------
+    kernel = "native" if native_available() else "numpy"
+    scen_R = (
+        scale.native_replicas if kernel == "native" else scale.numpy_replicas
+    )
+    # best-of-5 interleaved: event application allocates (R, n) matrices,
+    # and page-fault / preemption noise on those allocations dwarfs the
+    # interpreter overhead being measured at best-of-3
+    hand_times, scen_times = [], []
+    for _ in range(5 if scale.enforce else 2):
+        hand_times.append(_timed_hand_segmented(scale, scen_R, kernel))
+        scen_times.append(
+            _timed(_spec(scale, scen_R, "scenario"), "batched", kernel)
+        )
+    hand, scen = min(hand_times), min(scen_times)
+    cases["scenario_hand_segmented"] = _case(hand, scen_R, scale.rounds, 1.0)
+    cases["scenario_interpreter"] = _case(
+        scen, scen_R, scale.rounds, hand / scen
+    )
     return cases
 
 
@@ -314,6 +403,11 @@ def check_targets(cases: Dict[str, dict]) -> List[str]:
     check("adversarial_batched", FAULTY_TARGET, "batched adversarial")
     check("walks_numpy", NUMPY_TARGET, "batched numpy walks")
     check("walks_native", walks_floor, "threaded native walk kernel")
+    check(
+        "scenario_interpreter",
+        SCENARIO_OVERHEAD_TARGET,
+        "scenario interpreter vs hand-segmented",
+    )
     return failures
 
 

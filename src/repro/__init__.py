@@ -61,6 +61,7 @@ from .errors import (
     ExperimentError,
     GraphError,
     ReproError,
+    ScenarioError,
     SimulationError,
 )
 from .experiments import available_experiments, format_table, run_experiment
@@ -87,6 +88,14 @@ from .metrics import (
 )
 from .parallel import EnsembleSpec, run_ensemble
 from .rng import as_generator, spawn_generators
+from .scenarios import (
+    ScenarioEvent,
+    ScenarioSpec,
+    available_scenarios,
+    compile_scenario,
+    get_scenario,
+    resolve_scenario,
+)
 from .store import PointTable, ResultStore, StreamingMoments, TailCounter
 from .sweeps import (
     SweepSpec,
@@ -168,6 +177,13 @@ __all__ = [
     # parallel
     "EnsembleSpec",
     "run_ensemble",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioEvent",
+    "resolve_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "compile_scenario",
     # sweeps + store
     "SweepSpec",
     "expand_sweep",
@@ -187,5 +203,6 @@ __all__ = [
     "SimulationError",
     "CouplingError",
     "GraphError",
+    "ScenarioError",
     "ExperimentError",
 ]

@@ -21,6 +21,11 @@ Sub-commands
     gate its empirical distributions against the exactly enumerated
     Markov chains of ``repro.markov``.  Failures write replayable
     counterexample artifacts; ``--replay`` re-runs one from its file.
+``scenario run|list|validate``
+    Round-clock scenarios (``repro.scenarios``): list the named catalog,
+    validate a scenario spelling (catalog name, ``name:key=value`` or
+    inline JSON) and show its expanded event schedule, or run one
+    against an ensemble and print the recovery summary.
 """
 
 from __future__ import annotations
@@ -234,6 +239,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_query.add_argument(
         "--csv", dest="csv_path", default=None, help="also write the rows as CSV"
+    )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="round-clock scenarios: composite, time-varying workloads",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_sub.add_parser("list", help="list the named scenario catalog")
+
+    scenario_validate = scenario_sub.add_parser(
+        "validate",
+        help="parse a scenario spelling and show its expanded event schedule",
+    )
+    scenario_validate.add_argument(
+        "spec",
+        help=(
+            "catalog name (optionally name:key=value,...) or an inline "
+            "JSON object"
+        ),
+    )
+    scenario_validate.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        metavar="T",
+        help="expand periodic events over a T-round window (default: no expansion)",
+    )
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a scenario against an ensemble and summarize recovery"
+    )
+    scenario_run.add_argument("spec", help="scenario spelling (as for validate)")
+    scenario_run.add_argument("--n-bins", type=int, default=64, help="bins (default 64)")
+    scenario_run.add_argument(
+        "--replicas", type=int, default=256, help="independent replicas (default 256)"
+    )
+    scenario_run.add_argument(
+        "--rounds", type=int, default=128, help="rounds to simulate (default 128)"
+    )
+    scenario_run.add_argument(
+        "--process",
+        choices=["rbb", "d_choices", "graph_walks"],
+        default="rbb",
+        help="process family (default rbb; faulty is spelled as adversary events)",
+    )
+    scenario_run.add_argument(
+        "--topology", default=None, help="graph_walks topology, e.g. cycle:64"
+    )
+    scenario_run.add_argument(
+        "--start", default="balanced", help="start family (default balanced)"
+    )
+    scenario_run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated metric names observed during the run",
+    )
+    scenario_run.add_argument(
+        "--observe-every", type=int, default=1, metavar="STRIDE",
+        help="observation stride (default 1)",
+    )
+    scenario_run.add_argument(
+        "--engine", choices=["batched", "sequential"], default="batched"
+    )
+    scenario_run.add_argument(
+        "--kernel", choices=["auto", "numpy", "native"], default="auto"
+    )
+    scenario_run.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+    scenario_run.add_argument(
+        "--json", dest="json_path", default=None, help="write the summary as JSON"
     )
 
     verify = sub.add_parser(
@@ -519,6 +595,106 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     raise ReproError(f"unknown sweep command {args.sweep_command!r}")
 
 
+def _cmd_scenario_list() -> int:
+    from .scenarios import available_scenarios
+
+    rows = [
+        {"name": name, "default schedule": description}
+        for name, description in sorted(available_scenarios().items())
+    ]
+    print(format_table(rows, columns=["name", "default schedule"]))
+    print(
+        "\nuse name:key=value,... to override parameters, or pass an "
+        "inline JSON object (see `repro scenario validate`)"
+    )
+    return 0
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    from .scenarios import resolve_scenario
+
+    scenario = resolve_scenario(args.spec)
+    label = scenario.name or "(inline)"
+    print(f"scenario {label}: {len(scenario.events)} event(s)")
+    if scenario.description:
+        print(f"  {scenario.description}")
+    print(f"  canonical JSON: {scenario.to_json()}")
+    if args.rounds is not None:
+        expanded = scenario.expand_events(args.rounds)
+        print(f"  expanded over {args.rounds} rounds: {len(expanded)} firing(s)")
+        for when, event in expanded:
+            payload = {
+                key: getattr(event, key)
+                for key in ("count", "adversary", "topology", "value")
+                if getattr(event, key) is not None
+            }
+            detail = ", ".join(f"{k}={v}" for k, v in payload.items())
+            print(f"    round {when:>6}: {event.kind}({detail})")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .parallel.ensemble import EnsembleSpec, run_ensemble
+
+    config = dict(
+        n_bins=args.n_bins,
+        n_replicas=args.replicas,
+        rounds=args.rounds,
+        start=args.start,
+        scenario=args.spec,
+        observe_every=args.observe_every,
+    )
+    if args.process != "rbb":
+        config["process"] = args.process
+    if args.topology is not None:
+        config["topology"] = args.topology
+    if args.metrics is not None:
+        config["metrics"] = args.metrics
+    spec = EnsembleSpec(**config)
+    scenario = spec.resolved_scenario()
+    result = run_ensemble(
+        spec, seed=args.seed, engine=args.engine, kernel=args.kernel
+    )
+    label = scenario.name or "(inline)"
+    summary = {
+        "scenario": label,
+        "events": len(scenario.expand_events(args.rounds)),
+        "n_bins": args.n_bins,
+        "n_replicas": args.replicas,
+        "rounds": args.rounds,
+        "final_balls_mean": float(np.mean(result.final_loads.sum(axis=1))),
+        "window_max_load_mean": float(np.mean(result.max_load_seen)),
+        "window_max_load_max": int(np.max(result.max_load_seen)),
+        "min_empty_bins_min": int(np.min(result.min_empty_bins_seen)),
+        "converged_fraction": result.converged_fraction,
+    }
+    print(format_table([summary], columns=list(summary)))
+    for name, payload in sorted(result.metrics.items()):
+        print(
+            f"metric {name}: {payload.n_observations} observation(s) at "
+            f"rounds {', '.join(str(int(r)) for r in payload.rounds[:8])}"
+            + (" ..." if payload.n_observations > 8 else "")
+        )
+    if args.json_path:
+        path = Path(args.json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        return _cmd_scenario_list()
+    if args.scenario_command == "validate":
+        return _cmd_scenario_validate(args)
+    if args.scenario_command == "run":
+        return _cmd_scenario_run(args)
+    raise ReproError(f"unknown scenario command {args.scenario_command!r}")
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .verify import (
         DEFAULT_ARTIFACT_DIR,
@@ -577,6 +753,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
         if args.command == "verify":
             return _cmd_verify(args)
     except ReproError as exc:

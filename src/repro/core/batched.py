@@ -492,6 +492,17 @@ class BatchedLoadProcess:
         return self._active.copy()
 
     @property
+    def rng(self) -> np.random.Generator:
+        """The process' generator — the stream between-segment edits draw from.
+
+        The scenario interpreter applies its state edits with this stream
+        so that an ``R == 1`` scenario run through the numpy kernel stays
+        stream-equal to the sequential engine (which passes the very same
+        generator object through its rebuilds).
+        """
+        return self._rng
+
+    @property
     def max_load(self) -> np.ndarray:
         """Per-replica maximum load of the current configurations."""
         return self._loads.max(axis=1)
@@ -783,6 +794,45 @@ class BatchedLoadProcess:
                 f"expected {int(self._n_balls[bad])}, got {int(totals[bad])}"
             )
         self._loads[...] = np.asarray(arr, dtype=np.int64)
+
+    def replace_loads(self, loads: np.ndarray) -> None:
+        """Replace the ``(R, n)`` loads *without* requiring ball conservation.
+
+        The scenario hook for events that legitimately change the ball
+        count (arrival bursts, drains): the per-replica totals are
+        re-baselined so subsequent conservation checks track the new
+        counts.  Round counters and activity masks are untouched — use
+        :meth:`inject_loads` for conserving edits (it enforces the
+        Section 4.1 constraint).
+        """
+        arr = np.asarray(loads)
+        if arr.shape != (self._n_replicas, self._n_bins):
+            raise ConfigurationError(
+                f"replacement loads have shape {arr.shape}, expected "
+                f"({self._n_replicas}, {self._n_bins})"
+            )
+        if not np.issubdtype(arr.dtype, np.integer):
+            if not np.all(np.equal(np.mod(arr, 1), 0)):
+                raise ConfigurationError(
+                    "replacement loads must be integer-valued"
+                )
+            arr = arr.astype(np.int64)
+        if np.any(arr < 0):
+            raise ConfigurationError("replacement loads must be non-negative")
+        self._loads[...] = np.asarray(arr, dtype=np.int64)
+        self._n_balls = self._loads.sum(axis=1)
+
+    def advance_clock(self, rounds: int) -> None:
+        """Add ``rounds`` to every replica's global round counter.
+
+        Used when a scenario rebuilds the process mid-run (topology
+        rewiring): the replacement starts at round zero, and shifting its
+        clock back onto the run's global clock keeps observation rounds
+        and ``first_legitimate_round`` translation-free.
+        """
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        self._rounds_done += int(rounds)
 
     def reset(
         self, initial: Union[LoadConfiguration, np.ndarray, None] = None

@@ -14,6 +14,7 @@ __all__ = [
     "CouplingError",
     "GraphError",
     "ExperimentError",
+    "ScenarioError",
 ]
 
 
@@ -49,3 +50,12 @@ class GraphError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment spec is malformed or references an unknown experiment."""
+
+
+class ScenarioError(ConfigurationError):
+    """A scenario spec is malformed or incompatible with its ensemble spec.
+
+    Subclasses :class:`ConfigurationError`: a bad scenario is a bad
+    process parameterization, so callers that already handle spec
+    validation failures handle scenario failures for free.
+    """

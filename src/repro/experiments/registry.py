@@ -1,4 +1,4 @@
-"""Registry of every experiment (E1–E16) and ablation (A1–A3).
+"""Registry of every experiment (E1–E17) and ablation (A1–A3).
 
 Each entry pairs an :class:`~repro.experiments.spec.ExperimentSpec` (claim,
 default parameters, expected shape) with a runner function.  Default
@@ -14,6 +14,7 @@ from typing import Callable, Dict, List
 
 from . import definitions_core as core_defs
 from . import definitions_extended as ext_defs
+from . import definitions_scenarios as scenario_defs
 from .spec import ExperimentResult, ExperimentSpec
 from ..errors import ExperimentError
 
@@ -325,6 +326,8 @@ register(
     ),
     ext_defs.run_e16_graph_ensembles,
 )
+
+register(scenario_defs.E17_SPEC, scenario_defs.run_e17_scenarios)
 
 register(
     ExperimentSpec(

@@ -54,6 +54,16 @@ fixed ``(seed, engine, n_workers, kernel)`` tuple; the two engines draw
 their randomness differently, so they agree in distribution rather than
 trajectory-for-trajectory.
 
+Time-varying workloads ride on the same surface: ``spec.scenario`` names a
+:mod:`repro.scenarios` schedule (a catalog name like
+``"burst_recovery:count=32,at=4"``, an inline JSON object, a dict, or a
+:class:`~repro.scenarios.spec.ScenarioSpec`).  The scenario compiler turns
+the window into engine segments with state edits (bursts, drains, bin
+churn, staged adversaries, topology rewiring, observation-stride changes)
+applied between them; both engines interpret the same compiled program, a
+scenario with no events is bit-identical to the plain static run, and the
+JSON-scalar spelling means sweeps over scenario parameters come free.
+
 Observation is unified across engines through :mod:`repro.metrics`:
 ``spec.metrics`` names trackers (e.g. ``"max_load,legitimacy"``) that both
 engines attach through the shared observer pipeline — the batched engine
@@ -75,7 +85,7 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -102,6 +112,13 @@ from ..metrics.payload import MetricPayload, concatenate_payload_maps
 from ..metrics.registry import build_trackers, normalize_metric_names
 from ..metrics.window import SingleReplicaView, run_replica_window, run_window
 from ..rng import as_seed_sequence
+from ..scenarios.catalog import resolve_scenario
+from ..scenarios.engine import (
+    compile_scenario,
+    run_scenario_batched,
+    run_scenario_sequential,
+)
+from ..scenarios.spec import ScenarioSpec
 from ..types import SeedLike
 
 __all__ = ["EnsembleSpec", "run_ensemble", "ENGINES", "PROCESSES"]
@@ -179,6 +196,18 @@ class EnsembleSpec:
     observe_every:
         Observation stride for the attached trackers; the native kernel
         executes in segments of this length between observation points.
+    scenario:
+        Optional time-varying workload: any spelling
+        :func:`repro.scenarios.resolve_scenario` accepts — a catalog name
+        (``"burst_recovery"``, optionally parameterized as
+        ``"burst_recovery:count=32,at=4"``), an inline JSON object string
+        (the sweep-friendly spelling), a dict, or a
+        :class:`~repro.scenarios.spec.ScenarioSpec`.  Validated at
+        construction (events must fit the window and the process family).
+        Not combinable with ``process="faulty"`` (spell staged
+        adversaries as scenario events instead), ``stop_when_legitimate``,
+        or ``warmup_rounds``.  A scenario with no events is bit-identical
+        to the plain static run.
     """
 
     n_bins: int
@@ -198,6 +227,7 @@ class EnsembleSpec:
     constrained: bool = True
     metrics: Union[str, Sequence[str], Tuple[str, ...]] = ()
     observe_every: int = 1
+    scenario: Union[str, Mapping, ScenarioSpec, None] = None
 
     def __post_init__(self) -> None:
         # normalize + validate the metric selection up front (typos fail
@@ -242,6 +272,21 @@ class EnsembleSpec:
                     "warmup_rounds is not supported for the faulty process "
                     "(the fault schedule counts from the first round)"
                 )
+            if self.fault_period is not None:
+                # a schedule whose first fault lies past the window would
+                # silently never fire — reject it at construction
+                first_fault = (
+                    self.fault_offset
+                    if self.fault_offset is not None
+                    else self.fault_period
+                )
+                if first_fault > self.rounds:
+                    raise ConfigurationError(
+                        f"the fault schedule's first fault (round "
+                        f"{first_fault}) is past the window "
+                        f"(rounds={self.rounds}); the faults would silently "
+                        "never fire"
+                    )
         if self.process == "graph_walks":
             if self.topology is None:
                 raise ConfigurationError(
@@ -260,6 +305,30 @@ class EnsembleSpec:
                 f"topology={self.topology!r} is only meaningful for "
                 "process='graph_walks'"
             )
+        if self.scenario is not None:
+            if self.process == "faulty":
+                raise ConfigurationError(
+                    "scenario= is not supported for process='faulty'; spell "
+                    "staged adversaries as scenario 'adversary' events on "
+                    "the plain process instead"
+                )
+            if self.stop_when_legitimate:
+                raise ConfigurationError(
+                    "scenario= cannot be combined with stop_when_legitimate "
+                    "(the scenario clock requires every replica to advance)"
+                )
+            if self.warmup_rounds:
+                raise ConfigurationError(
+                    "scenario= cannot be combined with warmup_rounds (the "
+                    "event clock counts from the first simulated round)"
+                )
+            # resolve + expand now so malformed scenarios fail at
+            # construction, exactly like every other spec field
+            self.resolved_scenario().validate_for(self)
+
+    def resolved_scenario(self) -> Optional[ScenarioSpec]:
+        """The :class:`~repro.scenarios.spec.ScenarioSpec` this spec names."""
+        return resolve_scenario(self.scenario)
 
     def fault_schedule(self) -> FaultSchedule:
         """The :class:`FaultSchedule` described by the fault fields."""
@@ -344,17 +413,60 @@ def _sequential_ensemble_trial(trial_index, seed, spec: EnsembleSpec) -> dict:
             process = RepeatedBallsIntoBins(
                 spec.n_bins, initial=initial, seed=rng
             )
-        record = run_replica_window(
-            process,
-            spec.rounds,
-            beta=spec.beta,
-            stop_when_legitimate=spec.stop_when_legitimate,
-            warmup_rounds=spec.warmup_rounds,
-            observers=observers,
-            observe_every=spec.observe_every,
-        )
+        if spec.scenario is not None:
+            program = compile_scenario(
+                spec.resolved_scenario(), spec.rounds, spec.observe_every
+            )
+            record = run_scenario_sequential(
+                process,
+                program,
+                rng,
+                beta=spec.beta,
+                observers=observers,
+                rebuild=_sequential_rebuild_hook(spec, rng),
+            )
+        else:
+            record = run_replica_window(
+                process,
+                spec.rounds,
+                beta=spec.beta,
+                stop_when_legitimate=spec.stop_when_legitimate,
+                warmup_rounds=spec.warmup_rounds,
+                observers=observers,
+                observe_every=spec.observe_every,
+            )
     record["metrics"] = {name: tracker.payload() for name, tracker in trackers}
     return record
+
+
+def _sequential_rebuild_hook(spec: EnsembleSpec, rng: np.random.Generator):
+    """The scenario interpreter's process-rebuild callback (sequential).
+
+    The sequential simulators own their load vectors, so a state edit
+    rebuilds the process around the edited configuration.  None of the
+    constructors draws from the generator when an explicit ``initial`` is
+    given, and passing the *same* generator object continues the stream —
+    so a rebuild is invisible to the random trajectory.
+    """
+
+    def rebuild(process, loads, event):
+        if spec.process == "d_choices":
+            return DChoicesProcess(spec.n_bins, d=spec.d, initial=loads, seed=rng)
+        if spec.process == "graph_walks":
+            topology = (
+                resolve_topology(event.topology)
+                if event is not None
+                else process.topology
+            )
+            return ConstrainedParallelWalks(
+                topology,
+                initial=loads,
+                constrained=spec.constrained,
+                seed=rng,
+            )
+        return RepeatedBallsIntoBins(spec.n_bins, initial=loads, seed=rng)
+
+    return rebuild
 
 
 def _sequential_faulty_trial(
@@ -518,19 +630,59 @@ def _batched_ensemble_shard(
         batch = _make_batched_process(
             spec, hi - lo, initial, sim_seq, kernel, n_threads=n_threads
         )
-        if spec.warmup_rounds:
-            # metric tracking (and therefore observation) starts after the
-            # warm-up window, as for the sequential engine
-            batch.run(spec.warmup_rounds, beta=spec.beta)
-        result = batch.run(
-            spec.rounds,
-            beta=spec.beta,
-            stop_when_legitimate=spec.stop_when_legitimate,
-            observers=observers,
-            observe_every=spec.observe_every,
-        )
+        if spec.scenario is not None:
+            program = compile_scenario(
+                spec.resolved_scenario(), spec.rounds, spec.observe_every
+            )
+            result = run_scenario_batched(
+                batch,
+                program,
+                beta=spec.beta,
+                observers=observers,
+                rewire=_batched_rewire_hook(spec, kernel, n_threads),
+            )
+        else:
+            if spec.warmup_rounds:
+                # metric tracking (and therefore observation) starts after
+                # the warm-up window, as for the sequential engine
+                batch.run(spec.warmup_rounds, beta=spec.beta)
+            result = batch.run(
+                spec.rounds,
+                beta=spec.beta,
+                stop_when_legitimate=spec.stop_when_legitimate,
+                observers=observers,
+                observe_every=spec.observe_every,
+            )
     result.metrics = {name: tracker.payload() for name, tracker in trackers}
     return result
+
+
+def _batched_rewire_hook(
+    spec: EnsembleSpec, kernel: str, n_threads: Optional[int]
+):
+    """The scenario interpreter's topology-rewire callback (batched).
+
+    The replacement process carries the current loads, continues the same
+    generator, and has its round clock shifted back onto the run's global
+    clock so observation rounds and first-legitimate translation stay
+    trivial.  Scenario runs never deactivate replicas, so every replica
+    sits at the same global round at a rewire boundary.
+    """
+
+    def rewire(process, event):
+        replacement = BatchedConstrainedWalks(
+            resolve_topology(event.topology),
+            process.n_replicas,
+            initial=process.loads,
+            constrained=spec.constrained,
+            seed=process.rng,
+            kernel=kernel,
+            n_threads=n_threads,
+        )
+        replacement.advance_clock(int(process.rounds_completed[0]))
+        return replacement
+
+    return rewire
 
 
 def _run_batched(

@@ -1,0 +1,202 @@
+"""Named scenario catalog + the ``scenario=`` resolution entry point.
+
+Three canonical composite workloads ship with the library (the shapes the
+paper's self-stabilization claims are about):
+
+``burst_recovery``
+    A one-shot arrival burst — ``count`` extra balls at round ``at`` —
+    optionally drained again later; measures recovery from a mass spike.
+``bin_churn``
+    Periodic bin crashes with load reassignment: ``count`` bins every
+    ``every`` rounds from ``start``.
+``staged_adversary``
+    A periodic adversary that switches identity mid-run: ``first``
+    strikes every ``every`` rounds before ``switch``, ``second`` from
+    ``switch`` on.
+
+Catalog names accept inline parameter overrides with the same JSON-scalar
+spelling the topology specs use::
+
+    burst_recovery:count=32,at=4
+
+and :func:`resolve_scenario` is the single front door the
+``EnsembleSpec.scenario=`` field goes through: it accepts a
+:class:`ScenarioSpec`, a dict, a JSON object string, or a catalog name.
+
+>>> get_scenario("burst_recovery:count=32,at=4").events[0].count
+32
+>>> resolve_scenario('{"events": []}').is_noop
+True
+>>> sorted(available_scenarios())
+['bin_churn', 'burst_recovery', 'staged_adversary']
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Optional, Union
+
+from .spec import ScenarioEvent, ScenarioSpec
+from ..errors import ScenarioError
+
+__all__ = [
+    "burst_recovery",
+    "bin_churn",
+    "staged_adversary",
+    "available_scenarios",
+    "get_scenario",
+    "resolve_scenario",
+]
+
+
+def burst_recovery(
+    at: int = 8, count: int = 64, drain_at: Optional[int] = None
+) -> ScenarioSpec:
+    """A one-shot arrival burst (optionally drained again at ``drain_at``)."""
+    events = [ScenarioEvent(kind="burst", round=at, count=count)]
+    if drain_at is not None:
+        if drain_at <= at:
+            raise ScenarioError(
+                f"burst_recovery: drain_at ({drain_at}) must be after the "
+                f"burst ({at})"
+            )
+        events.append(ScenarioEvent(kind="drain", round=drain_at, count=count))
+    return ScenarioSpec(
+        events=tuple(events),
+        name="burst_recovery",
+        description=f"{count} extra balls at round {at}"
+        + (f", drained at round {drain_at}" if drain_at is not None else ""),
+    )
+
+
+def bin_churn(
+    start: int = 8,
+    every: int = 16,
+    count: int = 4,
+    until: Optional[int] = None,
+) -> ScenarioSpec:
+    """Periodic bin crashes: ``count`` bins every ``every`` rounds."""
+    return ScenarioSpec(
+        events=(
+            ScenarioEvent(
+                kind="bin_churn",
+                round=start,
+                every=every,
+                until=until,
+                count=count,
+            ),
+        ),
+        name="bin_churn",
+        description=f"{count} bins crash every {every} rounds from {start}",
+    )
+
+
+def staged_adversary(
+    first: str = "concentrate",
+    second: str = "pyramid",
+    switch: int = 33,
+    every: int = 8,
+    until: Optional[int] = None,
+) -> ScenarioSpec:
+    """A periodic adversary switching identity at round ``switch``.
+
+    ``until`` ends the second stage (default: it strikes to the horizon);
+    leaving quiet rounds after it is how recovery gets measured.
+    """
+    if switch <= every:
+        raise ScenarioError(
+            f"staged_adversary: switch ({switch}) must come after the first "
+            f"stage's first strike ({every})"
+        )
+    if until is not None and until < switch:
+        raise ScenarioError(
+            f"staged_adversary: until ({until}) must not precede the "
+            f"switch ({switch})"
+        )
+    return ScenarioSpec(
+        events=(
+            ScenarioEvent(
+                kind="adversary",
+                round=every,
+                every=every,
+                until=switch - 1,
+                adversary=first,
+            ),
+            ScenarioEvent(
+                kind="adversary",
+                round=switch,
+                every=every,
+                until=until,
+                adversary=second,
+            ),
+        ),
+        name="staged_adversary",
+        description=f"{first} every {every} rounds, then {second} from "
+        f"round {switch}"
+        + (f" until round {until}" if until is not None else ""),
+    )
+
+
+_CATALOG = {
+    "burst_recovery": burst_recovery,
+    "bin_churn": bin_churn,
+    "staged_adversary": staged_adversary,
+}
+
+
+def available_scenarios() -> Dict[str, str]:
+    """Catalog name -> one-line description (at default parameters)."""
+    return {name: builder().description for name, builder in _CATALOG.items()}
+
+
+def _parse_params(text: str, name: str) -> dict:
+    params = {}
+    for part in text.split(","):
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        if not sep or not key:
+            raise ScenarioError(
+                f"scenario {name!r}: malformed parameter {part!r} "
+                "(expected key=value)"
+            )
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def get_scenario(spec: str) -> ScenarioSpec:
+    """Build a catalog scenario from ``name`` or ``name:key=value,...``."""
+    name, sep, params_text = spec.partition(":")
+    if name not in _CATALOG:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(sorted(_CATALOG))} (or inline JSON)"
+        )
+    params = _parse_params(params_text, name) if sep else {}
+    try:
+        return _CATALOG[name](**params)
+    except TypeError as exc:
+        raise ScenarioError(f"scenario {name!r}: {exc}") from exc
+
+
+def resolve_scenario(
+    value: Union[ScenarioSpec, Mapping, str, None]
+) -> Optional[ScenarioSpec]:
+    """Normalize every accepted ``scenario=`` spelling to a :class:`ScenarioSpec`."""
+    if value is None:
+        return None
+    if isinstance(value, ScenarioSpec):
+        return value
+    if isinstance(value, Mapping):
+        return ScenarioSpec.from_dict(value)
+    if isinstance(value, str):
+        if value.lstrip().startswith("{"):
+            return ScenarioSpec.from_json(value)
+        return get_scenario(value)
+    raise ScenarioError(
+        f"cannot interpret {value!r} as a scenario (expected a ScenarioSpec, "
+        "a dict, a JSON object string, or a catalog name)"
+    )

@@ -1,0 +1,131 @@
+"""Vectorized event application: each event edits an ``(R, n)`` load matrix.
+
+The interpreter calls :func:`apply_event` between engine segments with the
+process' current load matrix and the scenario's random generator.  Every
+edit is vectorized over the replica axis where the draw allows it; the
+per-replica draws (hypergeometric drain, churned-bin choice) loop over
+``R`` but stay O(R) python-level work per *event*, not per round.
+
+Ball conservation is structural: kinds in
+:data:`~repro.scenarios.spec.CONSERVING_KINDS` return a matrix with the
+same per-replica totals (asserted here, and enforced again by
+``inject_loads`` in the driver); ``burst``/``drain`` intentionally change
+the totals and the driver routes them through ``replace_loads``.
+
+>>> import numpy as np
+>>> from repro.scenarios.spec import ScenarioEvent
+>>> rng = np.random.default_rng(0)
+>>> loads = np.full((2, 4), 3, dtype=np.int64)
+>>> out = apply_event(ScenarioEvent(kind="burst", round=1, count=5), loads, rng)
+>>> out.sum(axis=1)
+array([17, 17])
+>>> out = apply_event(ScenarioEvent(kind="drain", round=1, count=2), out, rng)
+>>> out.sum(axis=1)
+array([15, 15])
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import ScenarioEvent
+from ..adversary.adversaries import get_adversary
+from ..core.batched import one_choice_arrivals
+from ..errors import ScenarioError, SimulationError
+
+__all__ = [
+    "apply_event",
+    "apply_burst",
+    "apply_drain",
+    "apply_bin_churn",
+]
+
+
+def apply_burst(
+    loads: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` new balls per replica, each thrown into a uniform bin."""
+    R, n = loads.shape
+    row_base = np.arange(R, dtype=np.int64) * n
+    counts = np.full(R, count, dtype=np.int64)
+    return loads + one_choice_arrivals(rng, row_base, counts, R, n)
+
+
+def apply_drain(
+    loads: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Remove ``count`` balls per replica, uniformly without replacement.
+
+    Sampling the departing balls from the multiset of balls in the system
+    is exactly a multivariate hypergeometric draw over the bins.
+    """
+    out = loads.copy()
+    for r in range(loads.shape[0]):
+        total = int(loads[r].sum())
+        if count > total:
+            raise ScenarioError(
+                f"drain: removing {count} balls from replica {r} holding "
+                f"{total}"
+            )
+        out[r] -= rng.multivariate_hypergeometric(loads[r], count)
+    return out
+
+
+def apply_bin_churn(
+    loads: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` distinct bins crash per replica; their balls are rethrown.
+
+    Each crashed bin's balls land uniformly on the surviving bins, so the
+    per-replica total is conserved while the crashed bins end the event
+    empty (they stay addressable — subsequent rounds may refill them,
+    modeling a bin that rejoined empty).
+    """
+    R, n = loads.shape
+    if count > n - 1:
+        raise ScenarioError(
+            f"bin_churn: count {count} leaves no surviving bin (n_bins={n})"
+        )
+    out = loads.copy()
+    for r in range(R):
+        churned = rng.choice(n, size=count, replace=False)
+        moved = int(out[r, churned].sum())
+        keep = np.setdiff1d(np.arange(n), churned)
+        out[r, churned] = 0
+        if moved:
+            destinations = keep[rng.integers(0, keep.size, size=moved)]
+            out[r] += np.bincount(destinations, minlength=n)
+    return out
+
+
+def apply_event(
+    event: ScenarioEvent, loads: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Apply one state-edit event to an ``(R, n)`` matrix; returns the result.
+
+    ``rewire`` and ``observe_every`` events are not state edits (the
+    driver and the compiler consume them respectively) and are rejected
+    here.
+    """
+    loads = np.asarray(loads, dtype=np.int64)
+    if loads.ndim != 2:
+        raise ScenarioError(
+            f"event application needs an (R, n) matrix, got shape {loads.shape}"
+        )
+    before = loads.sum(axis=1)
+    if event.kind == "burst":
+        result = apply_burst(loads, event.count, rng)
+    elif event.kind == "drain":
+        result = apply_drain(loads, event.count, rng)
+    elif event.kind == "adversary":
+        result = get_adversary(event.adversary).apply_batch(loads, rng)
+    elif event.kind == "bin_churn":
+        result = apply_bin_churn(loads, event.count, rng)
+    else:
+        raise ScenarioError(f"{event.kind} events are not state edits")
+    if event.kind in ("adversary", "bin_churn"):
+        if not np.array_equal(result.sum(axis=1), before):
+            raise SimulationError(
+                f"{event.kind} event did not conserve balls"
+            )
+    return result

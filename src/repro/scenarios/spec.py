@@ -1,0 +1,326 @@
+"""The scenario spec: a JSON-serializable schedule of events on the round clock.
+
+A :class:`ScenarioSpec` is a validated, ordered list of
+:class:`ScenarioEvent` entries.  Each event names a *kind* (what happens)
+and a position on the round clock (*when*), optionally repeating:
+
+``burst``
+    ``count`` extra balls arrive in every replica, each thrown into a
+    uniform bin (the one-choice arrival law).  Not ball-conserving.
+``drain``
+    ``count`` balls leave every replica, sampled uniformly without
+    replacement from the balls currently in the system (a multivariate
+    hypergeometric draw over the bins).  Not ball-conserving.
+``adversary``
+    A named :mod:`repro.adversary` adversary reassigns every replica's
+    configuration (ball-conserving, the Section 4.1 fault model).
+``bin_churn``
+    ``count`` distinct bins crash in every replica; their balls are
+    rethrown uniformly into the surviving bins (ball-conserving).
+``rewire``
+    The walk topology is replaced mid-run (``graph_walks`` only; the new
+    topology must keep the node count).
+``observe_every``
+    The observation stride changes to ``value`` from this round on — a
+    compile-time event consumed by the scenario compiler, not a state
+    edit.
+
+An event at round ``t`` fires *before* round ``t`` executes, matching the
+:class:`~repro.adversary.faulty_process.FaultSchedule` convention, so
+``t`` ranges over ``[1, rounds]``.  Events listed for the same round apply
+in listing order.  Periodic events spell ``round`` (first firing),
+``every`` (period) and ``until`` (inclusive last round considered, clipped
+to the window).
+
+>>> spec = ScenarioSpec.from_dict({
+...     "name": "demo",
+...     "events": [
+...         {"kind": "burst", "round": 4, "count": 8},
+...         {"kind": "adversary", "round": 2, "every": 6, "adversary": "concentrate"},
+...     ],
+... })
+>>> [(t, e.kind) for t, e in spec.expand_events(rounds=12)]
+[(2, 'adversary'), (4, 'burst'), (8, 'adversary')]
+>>> ScenarioSpec.from_json(spec.to_json()) == spec
+True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple
+
+from ..errors import ScenarioError
+
+__all__ = ["EVENT_KINDS", "CONSERVING_KINDS", "ScenarioEvent", "ScenarioSpec"]
+
+#: Every event kind the parser accepts, in documentation order.
+EVENT_KINDS = (
+    "burst",
+    "drain",
+    "adversary",
+    "bin_churn",
+    "rewire",
+    "observe_every",
+)
+
+#: State-edit kinds that must conserve the per-replica ball total.  The
+#: interpreter routes these through ``inject_loads`` (which enforces
+#: conservation) and the rest through ``replace_loads``.
+CONSERVING_KINDS = frozenset({"adversary", "bin_churn"})
+
+#: kind -> (required fields, optional fields) beyond the clock fields.
+_FIELD_RULES = {
+    "burst": (("count",), ()),
+    "drain": (("count",), ()),
+    "adversary": (("adversary",), ()),
+    "bin_churn": (("count",), ()),
+    "rewire": (("topology",), ()),
+    "observe_every": (("value",), ()),
+}
+
+_PAYLOAD_FIELDS = ("count", "adversary", "topology", "value")
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scheduled event: a kind, a clock position, and its payload.
+
+    >>> ScenarioEvent(kind="burst", round=3, count=5).firings(rounds=10)
+    (3,)
+    >>> ScenarioEvent(kind="drain", round=2, every=3, count=1).firings(10)
+    (2, 5, 8)
+    """
+
+    kind: str
+    round: int
+    every: Optional[int] = None
+    until: Optional[int] = None
+    count: Optional[int] = None
+    adversary: Optional[str] = None
+    topology: Optional[str] = None
+    value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FIELD_RULES:
+            raise ScenarioError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{', '.join(EVENT_KINDS)}"
+            )
+        if not isinstance(self.round, int) or isinstance(self.round, bool):
+            raise ScenarioError(
+                f"{self.kind}: round must be an integer, got {self.round!r}"
+            )
+        if self.round < 1:
+            raise ScenarioError(
+                f"{self.kind}: round must be >= 1 (events fire before the "
+                f"named round executes), got {self.round}"
+            )
+        if self.every is not None and self.every < 1:
+            raise ScenarioError(
+                f"{self.kind}: every must be >= 1, got {self.every}"
+            )
+        if self.until is not None:
+            if self.every is None:
+                raise ScenarioError(
+                    f"{self.kind}: until requires every (a one-shot event "
+                    "has no period to bound)"
+                )
+            if self.until < self.round:
+                raise ScenarioError(
+                    f"{self.kind}: until ({self.until}) is before the first "
+                    f"firing ({self.round})"
+                )
+        required, _ = _FIELD_RULES[self.kind]
+        for name in required:
+            if getattr(self, name) is None:
+                raise ScenarioError(f"{self.kind}: missing field {name!r}")
+        allowed = set(required)
+        for name in _PAYLOAD_FIELDS:
+            if name not in allowed and getattr(self, name) is not None:
+                raise ScenarioError(
+                    f"{self.kind}: field {name!r} does not apply"
+                )
+        if self.count is not None and self.count < 1:
+            raise ScenarioError(
+                f"{self.kind}: count must be >= 1, got {self.count}"
+            )
+        if self.value is not None and self.value < 1:
+            raise ScenarioError(
+                f"{self.kind}: value must be >= 1, got {self.value}"
+            )
+
+    def firings(self, rounds: int) -> Tuple[int, ...]:
+        """Every round in ``[1, rounds]`` at which this event fires.
+
+        A first firing past the window is an error (the event would
+        silently never apply); an ``until`` past the window is clipped.
+        """
+        if self.round > rounds:
+            raise ScenarioError(
+                f"{self.kind}: first firing at round {self.round} is past "
+                f"the window (rounds={rounds})"
+            )
+        if self.every is None:
+            return (self.round,)
+        last = rounds if self.until is None else min(self.until, rounds)
+        return tuple(range(self.round, last + 1, self.every))
+
+    def to_dict(self) -> dict:
+        """The JSON-shaped dict (only the fields that are set)."""
+        out = {"kind": self.kind, "round": self.round}
+        for name in ("every", "until", *_PAYLOAD_FIELDS):
+            if getattr(self, name) is not None:
+                out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioEvent":
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"an event must be a mapping, got {type(data).__name__}"
+            )
+        known = {"kind", "round", "every", "until", *_PAYLOAD_FIELDS}
+        unknown = set(data) - known
+        if unknown:
+            raise ScenarioError(
+                f"unknown event field(s): {', '.join(sorted(unknown))}"
+            )
+        if "kind" not in data:
+            raise ScenarioError("an event must name its kind")
+        if "round" not in data:
+            raise ScenarioError(f"{data['kind']}: an event must name its round")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, ordered schedule of events — the unit the engines consume.
+
+    >>> spec = ScenarioSpec(events=(ScenarioEvent(kind="burst", round=1, count=2),))
+    >>> spec.expand_events(4)
+    [(1, ScenarioEvent(kind='burst', round=1, every=None, until=None, count=2, adversary=None, topology=None, value=None))]
+    """
+
+    events: Tuple[ScenarioEvent, ...] = ()
+    name: Optional[str] = None
+    description: str = field(default="")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, ScenarioEvent):
+                raise ScenarioError(
+                    f"events must be ScenarioEvent instances, got "
+                    f"{type(event).__name__}"
+                )
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this scenario schedules no events at all."""
+        return not self.events
+
+    def expand_events(self, rounds: int) -> List[Tuple[int, "ScenarioEvent"]]:
+        """All ``(round, event)`` firings in the window, in application order.
+
+        Sorted by round; events firing in the same round keep their
+        listing order (the sort is stable).
+        """
+        if rounds < 0:
+            raise ScenarioError(f"rounds must be >= 0, got {rounds}")
+        firings: List[Tuple[int, ScenarioEvent]] = []
+        for event in self.events:
+            firings.extend((t, event) for t in event.firings(rounds))
+        firings.sort(key=lambda pair: pair[0])
+        return firings
+
+    def validate_for(self, spec) -> None:
+        """Check this scenario against an ensemble-like spec (duck-typed).
+
+        ``spec`` needs ``n_bins``, ``rounds``, ``process`` and (for
+        walks) ``topology``; :class:`~repro.parallel.ensemble.EnsembleSpec`
+        qualifies.  Raises :class:`~repro.errors.ScenarioError` when an
+        event cannot apply: a rewire outside ``graph_walks`` or changing
+        the node count, a churn count that leaves no surviving bin, or a
+        drain that would go below zero balls (checked by walking the
+        scheduled ball count, which is deterministic per replica).
+        """
+        n_bins = int(spec.n_bins)
+        process = getattr(spec, "process", "rbb")
+        expanded = self.expand_events(int(spec.rounds))
+        balls = int(spec.n_balls) if getattr(spec, "n_balls", None) else n_bins
+        for when, event in expanded:
+            if event.kind == "rewire":
+                if process != "graph_walks":
+                    raise ScenarioError(
+                        "rewire events only apply to process='graph_walks', "
+                        f"not {process!r}"
+                    )
+                from ..graphs.generators import resolve_topology
+
+                topology = resolve_topology(event.topology)
+                if topology.num_nodes != n_bins:
+                    raise ScenarioError(
+                        f"rewire at round {when}: topology "
+                        f"{event.topology!r} has {topology.num_nodes} nodes, "
+                        f"the run has {n_bins}"
+                    )
+            elif event.kind == "bin_churn":
+                if event.count > n_bins - 1:
+                    raise ScenarioError(
+                        f"bin_churn at round {when}: count {event.count} "
+                        f"leaves no surviving bin (n_bins={n_bins})"
+                    )
+            elif event.kind == "burst":
+                balls += event.count
+            elif event.kind == "drain":
+                if event.count > balls:
+                    raise ScenarioError(
+                        f"drain at round {when}: removing {event.count} "
+                        f"balls from a system holding {balls}"
+                    )
+                balls -= event.count
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {"events": [event.to_dict() for event in self.events]}
+        if self.name is not None:
+            out["name"] = self.name
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"a scenario must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - {"events", "name", "description"}
+        if unknown:
+            raise ScenarioError(
+                f"unknown scenario field(s): {', '.join(sorted(unknown))}"
+            )
+        events = data.get("events", ())
+        if isinstance(events, (str, bytes)) or not hasattr(events, "__iter__"):
+            raise ScenarioError("'events' must be a list of event mappings")
+        return cls(
+            events=tuple(ScenarioEvent.from_dict(e) for e in events),
+            name=data.get("name"),
+            description=data.get("description", ""),
+        )
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (the ``EnsembleSpec.scenario=`` spelling)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"scenario is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

@@ -20,6 +20,10 @@ Three layers:
 :mod:`repro.verify.artifact`
     Replayable TLC-style counterexamples in ``.verify/`` — every
     failure is one ``repro verify --replay`` away from a local repro.
+:mod:`repro.verify.scenario`
+    Scenario-interpreter gates: exact bit-equality of no-op scenarios
+    against static runs on every engine coordinate, event-trace ball
+    accounting, and observation-schedule conformance.
 
 CLI: ``repro verify [--level smoke|full]`` (the smoke tier is a CI
 gate); pytest smoke coverage lives in ``tests/test_verify_*.py``.
@@ -49,6 +53,13 @@ from .exact import (
     window_min_empty_pmf,
 )
 from .report import ground_truth_rows, render_verification_doc
+from .scenario import (
+    NOOP_SCENARIO,
+    check_observation_schedule,
+    check_scenario_event_invariants,
+    noop_differences,
+    run_noop_equality,
+)
 from .stats import GofResult, bonferroni_alpha, pooled_chi_square, total_variation
 from .trace import (
     InvariantViolation,
@@ -80,6 +91,11 @@ __all__ = [
     "window_min_empty_pmf",
     "ground_truth_rows",
     "render_verification_doc",
+    "NOOP_SCENARIO",
+    "check_observation_schedule",
+    "check_scenario_event_invariants",
+    "noop_differences",
+    "run_noop_equality",
     "GofResult",
     "bonferroni_alpha",
     "pooled_chi_square",

@@ -55,7 +55,7 @@ class ConformanceCase:
     n_threads: Optional[int] = None
     fused: bool = True
     n_workers: int = 1
-    runner: str = "ensemble"  # "ensemble" | "token" | "absorbing"
+    runner: str = "ensemble"  # "ensemble" | "token" | "absorbing" | "scenario_noop"
     horizons: Tuple[int, ...] = (1, 2, 4)
     checks: Tuple[str, ...] = DEFAULT_CHECKS
     ground_truth: str = "exact_rbb_transition_matrix"
@@ -67,7 +67,7 @@ class ConformanceCase:
 
     @property
     def engine_label(self) -> str:
-        if self.runner != "ensemble":
+        if self.runner not in ("ensemble", "scenario_noop"):
             return self.runner
         bits = [self.engine]
         if self.engine == "batched":
@@ -349,6 +349,131 @@ def _process_cases(R: int, smoke: bool) -> List[ConformanceCase]:
     return cases
 
 
+def _scenario_cases(R: int, smoke: bool) -> List[ConformanceCase]:
+    """Scenario-interpreter gates: exact no-op equality + a statistical case.
+
+    The no-op cases are deterministic bit-equality checks, so they need
+    far fewer replicas than the chi-square gates; the adversary case runs
+    a real event schedule through the interpreter and faces the same
+    ``exact_rbb + adversary_matrix`` ground truth as the faulty engine
+    (scenario events share its fires-before-the-round clock).
+    """
+    noop_spec = {
+        "n_bins": 3,
+        "n_replicas": 64 if smoke else 256,
+        "rounds": 4,
+        "observe_every": 2,
+        "start": "all_in_one",
+        "metrics": ("max_load", "empty_bins", "trace"),
+    }
+    noop_kwargs = dict(
+        spec_config=noop_spec,
+        runner="scenario_noop",
+        horizons=(4,) if smoke else (1, 4),
+        checks=("noop_bit_equality",),
+        ground_truth="bit-equal static run",
+    )
+    cases = [
+        ConformanceCase(
+            name="scenario-noop-sequential", engine="sequential", **noop_kwargs
+        ),
+        ConformanceCase(
+            name="scenario-noop-batched-numpy",
+            engine="batched",
+            kernel="numpy",
+            **noop_kwargs,
+        ),
+        ConformanceCase(
+            name="scenario-noop-batched-native-t1-fused",
+            engine="batched",
+            kernel="native",
+            n_threads=1,
+            fused=True,
+            **noop_kwargs,
+        ),
+        ConformanceCase(
+            name="scenario-noop-batched-native-t2-segmented",
+            engine="batched",
+            kernel="native",
+            n_threads=2,
+            fused=False,
+            **noop_kwargs,
+        ),
+    ]
+    if not smoke:
+        cases.append(
+            ConformanceCase(
+                name="scenario-noop-batched-numpy-sharded",
+                engine="batched",
+                kernel="numpy",
+                n_workers=2,
+                **noop_kwargs,
+            )
+        )
+        cases.append(
+            ConformanceCase(
+                name="scenario-noop-walks-cycle3-batched",
+                spec_config={
+                    "n_bins": 3,
+                    "n_replicas": 256,
+                    "rounds": 3,
+                    "start": "all_in_one",
+                    "process": "graph_walks",
+                    "topology": "cycle:3",
+                    "constrained": True,
+                    "metrics": ("max_load", "empty_bins"),
+                },
+                engine="batched",
+                kernel="numpy",
+                runner="scenario_noop",
+                horizons=(3,),
+                checks=("noop_bit_equality",),
+                ground_truth="bit-equal static run",
+            )
+        )
+    # same fault schedule as the faulty-concentrate cases (strikes at
+    # rounds 2, 4, ...), but spelled as scenario events and executed by
+    # the scenario interpreter instead of BatchedFaultyProcess
+    scenario_json = (
+        '{"events": [{"kind": "adversary", "round": 2, "every": 2, '
+        '"adversary": "concentrate"}]}'
+    )
+    cases.append(
+        ConformanceCase(
+            name="scenario-adversary-batched-numpy",
+            spec_config={
+                "n_bins": 3,
+                "n_replicas": R,
+                "rounds": 4,
+                "start": "balanced",
+                "scenario": scenario_json,
+                "metrics": ("max_load", "empty_bins"),
+            },
+            engine="batched",
+            kernel="numpy",
+            horizons=(4,) if smoke else (2, 4),
+            ground_truth="exact_rbb + adversary_matrix",
+        )
+    )
+    if not smoke:
+        cases.append(
+            ConformanceCase(
+                name="scenario-adversary-sequential",
+                spec_config={
+                    "n_bins": 3,
+                    "n_replicas": max(R // 4, 150),
+                    "rounds": 4,
+                    "start": "balanced",
+                    "scenario": scenario_json,
+                },
+                engine="sequential",
+                horizons=(4,),
+                ground_truth="exact_rbb + adversary_matrix",
+            )
+        )
+    return cases
+
+
 def build_cases(level: str = "smoke") -> List[ConformanceCase]:
     """The catalog at one verification level."""
     if level not in VERIFY_LEVELS:
@@ -357,7 +482,11 @@ def build_cases(level: str = "smoke") -> List[ConformanceCase]:
         )
     smoke = level == "smoke"
     R = 600 if smoke else 2000
-    cases = _rbb_engine_matrix(R, smoke) + _process_cases(R, smoke)
+    cases = (
+        _rbb_engine_matrix(R, smoke)
+        + _process_cases(R, smoke)
+        + _scenario_cases(R, smoke)
+    )
     names = [case.name for case in cases]
     if len(set(names)) != len(names):  # pragma: no cover - catalog bug guard
         raise ConfigurationError(f"duplicate case names in catalog: {names}")

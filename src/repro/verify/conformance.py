@@ -197,19 +197,33 @@ def _ground_truth(spec: EnsembleSpec, horizon: int) -> _GroundTruth:
     m = sum(initial)
     if spec.process == "d_choices":
         P, states = exact_greedy_d_transition_matrix(spec.n_bins, spec.d, m)
-        return _GroundTruth(P, states, initial)
-    if spec.process == "graph_walks":
+    elif spec.process == "graph_walks":
         P, states = exact_walk_transition_matrix(
             resolve_topology(spec.topology), m, constrained=spec.constrained
         )
-        return _GroundTruth(P, states, initial)
-    P, states = exact_rbb_transition_matrix(spec.n_bins, m)
+    else:
+        P, states = exact_rbb_transition_matrix(spec.n_bins, m)
     if spec.process == "faulty":
         schedule = spec.fault_schedule()
         fault_rounds = tuple(
             t for t in range(1, horizon + 1) if schedule.is_faulty(t)
         )
         F = adversary_matrix(spec.adversary, states)
+        return _GroundTruth(P, states, initial, fault_rounds, F)
+    if spec.scenario is not None:
+        # scenario events fire *before* their round executes — the same
+        # clock as the faulty engine, so the fault-round machinery of the
+        # exact layer carries over verbatim for adversary-only scenarios
+        expanded = spec.resolved_scenario().expand_events(horizon)
+        names = {event.adversary for _, event in expanded}
+        if any(event.kind != "adversary" for _, event in expanded) or len(names) != 1:
+            raise ConfigurationError(
+                "conformance ground truth covers scenarios made of a single "
+                "adversary's events only; gate other event kinds through "
+                "repro.verify.scenario invariants instead"
+            )
+        fault_rounds = tuple(when for when, _ in expanded)
+        F = adversary_matrix(names.pop(), states)
         return _GroundTruth(P, states, initial, fault_rounds, F)
     return _GroundTruth(P, states, initial)
 
@@ -261,7 +275,12 @@ class _RunSamples:
     final_loads: np.ndarray
     window_max: np.ndarray
     window_min_empty: np.ndarray
-    seed_window_from_initial: bool = False
+    #: Tri-state window-seeding convention: ``True`` folds the call-time
+    #: configuration (token runner), ``False`` never does (the scenario
+    #: interpreter, which starts its folds from scratch even when events
+    #: fire), ``None`` defers to the exact layer's default (seed from the
+    #: initial configuration exactly when fault rounds exist).
+    seed_window_from_initial: Optional[bool] = None
     extra: Dict[str, np.ndarray] = field(default_factory=dict)
 
 
@@ -281,12 +300,13 @@ def _run_ensemble_case(
         final_loads=result.final_loads,
         window_max=result.max_load_seen,
         window_min_empty=result.min_empty_bins_seen,
+        seed_window_from_initial=False if spec.scenario is not None else None,
     )
     # free cross-check: the max_load/empty_bins tracker summaries must
     # agree with the engine's own window vectors (post-step folds only,
-    # so the faulty process — which also folds injected states — is
-    # exempt by design)
-    if spec.process != "faulty":
+    # so the faulty process and scenario runs — which also fold injected
+    # states — are exempt by design)
+    if spec.process != "faulty" and spec.scenario is None:
         payload = result.metrics.get("max_load")
         if payload is not None:
             samples.extra["tracker_window_max"] = payload.summaries["window_max"]
@@ -350,6 +370,44 @@ def _check_absorbing_case(
         gof=gof,
         alpha=alpha,
         passed=gof.passed(alpha),
+    )
+
+
+def _check_scenario_noop_case(
+    case: ConformanceCase, horizon: int, seed, alpha: float
+) -> CheckOutcome:
+    """Gate the no-op-scenario bit-equality contract at one coordinate.
+
+    The check is exact, not statistical: a pristine pass is reported as
+    ``p = 1`` and any difference as pure impossible mass, so it composes
+    with the Bonferroni accounting without consuming real alpha.
+    """
+    from . import scenario as scenario_mod
+
+    diffs = scenario_mod.run_noop_equality(
+        dict(case.spec_config),
+        horizon,
+        seed,
+        engine=case.engine,
+        kernel=case.kernel,
+        n_threads=case.n_threads,
+        fused=case.fused,
+        n_workers=case.n_workers,
+    )
+    n = int(dict(case.spec_config).get("n_replicas", 0))
+    gof = (
+        GofResult(0.0, 0, 1.0, n, 1, 0.0, 0.0)
+        if not diffs
+        else GofResult(float("inf"), 0, 0.0, n, 1, 1.0, 1.0)
+    )
+    return CheckOutcome(
+        case=case.name,
+        engine_label=case.engine_label,
+        check="noop_bit_equality",
+        horizon=horizon,
+        gof=gof,
+        alpha=alpha,
+        passed=not diffs,
     )
 
 
@@ -419,7 +477,7 @@ def _gates_for_run(
             horizon,
             fault_rounds=truth.fault_rounds,
             F=truth.F,
-            seed_from_initial=samples.seed_window_from_initial or None,
+            seed_from_initial=samples.seed_window_from_initial,
         )
         gate(
             "window_max",
@@ -441,7 +499,7 @@ def _gates_for_run(
             horizon,
             fault_rounds=truth.fault_rounds,
             F=truth.F,
-            seed_from_initial=samples.seed_window_from_initial,
+            seed_from_initial=bool(samples.seed_window_from_initial),
         )
         gate(
             "window_min_empty",
@@ -483,6 +541,11 @@ def run_case(
         run_seed = trial_seed(case_seed, h_index)
         if case.runner == "absorbing":
             outcomes.append(_check_absorbing_case(case, run_seed, alpha))
+            continue
+        if case.runner == "scenario_noop":
+            outcomes.append(
+                _check_scenario_noop_case(case, horizon, run_seed, alpha)
+            )
             continue
         if case.runner == "token":
             spec_config = dict(case.spec_config)

@@ -26,6 +26,10 @@ def ground_truth_rows(level: str) -> List[Dict[str, str]]:
             process = "token"
         elif case.runner == "absorbing":
             process = "bin_load_chain"
+        elif case.runner == "scenario_noop":
+            process = f"{process}+noop-scenario"
+        elif config.get("scenario") is not None:
+            process = f"{process}+scenario"
         size = (
             f"n={config.get('n_bins')}"
             if case.runner != "absorbing"
