@@ -27,7 +27,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.core.native import native_available, native_status
+from repro.core.native import native_status
 from repro.sweeps import SweepSpec, run_sweep
 
 N_BINS = 1024

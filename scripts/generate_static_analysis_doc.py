@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Render ``docs/STATIC_ANALYSIS.md`` from the live tool catalogs.
+
+The document is *generated*: the lint rule table comes from
+``repro.lint.RULES``, the checked symbol table from
+``repro.core.native.kernel_abi()``, and the sanitizer matrix from
+``SANITIZE_MODES`` plus the variant ladder — so the prose can never
+drift from what the tools actually enforce.  CI runs ``--check`` and
+fails when the checked-in file is stale.
+
+Usage::
+
+    python scripts/generate_static_analysis_doc.py           # rewrite the doc
+    python scripts/generate_static_analysis_doc.py --check   # fail if stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.lint.doc import render_static_analysis_doc  # noqa: E402
+
+DOC_PATH = ROOT / "docs" / "STATIC_ANALYSIS.md"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the checked-in doc differs from the "
+        "rendered one (used by CI)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DOC_PATH),
+        help=f"output path (default {DOC_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    rendered = render_static_analysis_doc()
+    target = Path(args.out)
+    if args.check:
+        if not target.exists():
+            print(f"STALE: {target} does not exist; regenerate with "
+                  f"`python {Path(__file__).relative_to(ROOT)}`")
+            return 1
+        current = target.read_text()
+        if current != rendered:
+            print(
+                f"STALE: {target} does not match the tool catalogs; "
+                f"regenerate with `python {Path(__file__).relative_to(ROOT)}`"
+            )
+            return 1
+        print(f"{target} is up to date")
+        return 0
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(rendered)
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -22,7 +22,6 @@ from ..core.config import LoadConfiguration
 from ..core.metrics import LoadHistogramTracker
 from ..core.process import RepeatedBallsIntoBins
 from ..errors import ConfigurationError
-from ..rng import as_generator
 from ..types import SeedLike
 
 __all__ = [

@@ -352,6 +352,30 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--list", action="store_true", help="list the catalog cases and exit"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant linter and the C<->ctypes ABI check",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="directory tree for the AST rules (default: the repro package)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids/slugs (default: all rules)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
     return parser
 
 
@@ -727,6 +751,20 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    argv: List[str] = []
+    if args.root is not None:
+        argv += ["--root", args.root]
+    if args.select is not None:
+        argv += ["--select", args.select]
+    argv += ["--format", args.format]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_full_report
 
@@ -757,6 +795,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_scenario(args)
         if args.command == "verify":
             return _cmd_verify(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import as_generator
-from ..types import LoadVector, SeedLike
+from ..types import SeedLike
 
 __all__ = ["LoadConfiguration", "legitimacy_threshold", "DEFAULT_BETA"]
 

@@ -21,7 +21,6 @@ The trackers correspond to the quantities the paper reasons about:
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional
 
 import numpy as np

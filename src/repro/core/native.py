@@ -40,6 +40,21 @@ variable > available CPU count, clamped to the replica count and forced
 to 1 when the compiled kernel has no threading backend.  Results are
 bit-identical for every thread count, so this is purely a performance
 knob.
+
+Sanitizer builds (``REPRO_SANITIZE=asan|ubsan|tsan``) compile every flag
+variant with the matching ``-fsanitize=...`` flags appended (and
+``-march=native`` dropped under TSan, whose instrumentation does not mix
+well with aggressively vectorized code).  Sanitized binaries live under
+their own cache fingerprints *and* mode-tagged file names, so they can
+never shadow — or be shadowed by — the fast binaries.  Loading an
+ASan/TSan ``.so`` into a stock CPython requires the sanitizer runtime to
+be preloaded; ``scripts/with_sanitizer.sh`` sets that up.
+
+The ``ctypes`` signature of every exported kernel symbol is declared
+once, as data, in :data:`KERNEL_ABI`; the loader applies it to the
+loaded library and ``repro.lint.abi`` cross-checks it against the C
+declarations themselves (arity, argument order, integer widths), so the
+hand-maintained mirror cannot silently drift.
 """
 
 from __future__ import annotations
@@ -53,7 +68,7 @@ import subprocess
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 
@@ -64,7 +79,12 @@ __all__ = [
     "native_threading",
     "resolve_n_threads",
     "available_cpu_count",
+    "sanitize_mode",
+    "kernel_abi",
+    "SymbolABI",
+    "KERNEL_ABI",
     "KERNEL_NAMES",
+    "SANITIZE_MODES",
     "THREAD_MODELS",
 ]
 
@@ -77,9 +97,25 @@ _COMMON_HEADER = _PACKAGE_ROOT / "core" / "_kernel_common.h"
 THREAD_MODELS: Dict[int, str] = {0: "serial", 1: "pthreads", 2: "openmp"}
 
 
-def _obs_tail():
+@dataclass(frozen=True)
+class SymbolABI:
+    """The declared ``ctypes`` signature of one exported kernel symbol.
+
+    This is the Python side of the C ABI, kept as *data* so that the
+    loader (:func:`get_kernel`) and the static cross-checker
+    (:mod:`repro.lint.abi`) share one source of truth.  ``source`` names
+    the C file whose ``REPRO_ABI``-marked definition must agree with it.
+    """
+
+    name: str
+    argtypes: Tuple[object, ...]
+    restype: Optional[object]
+    source: Path
+
+
+def _obs_tail() -> Tuple[object, ...]:
     """Argtypes shared by both kernels' fused-observation ABI tail."""
-    return [
+    return (
         ctypes.c_int32,  # n_threads
         ctypes.c_int64,  # observe_every
         ctypes.c_int64,  # n_obs
@@ -87,12 +123,15 @@ def _obs_tail():
         ctypes.POINTER(ctypes.c_int32),  # obs_empty (n_obs, R) or None
         ctypes.POINTER(ctypes.c_int64),  # obs_sum (n_obs, R) or None
         ctypes.POINTER(ctypes.c_int64),  # obs_sumsq (n_obs, R) or None
-    ]
+    )
 
 
-def _declare_rbb(lib: ctypes.CDLL):
-    fn = lib.rbb_run
-    fn.argtypes = [
+_RBB_SOURCE = _PACKAGE_ROOT / "core" / "rbb_kernel.c"
+_WALKS_SOURCE = _PACKAGE_ROOT / "graphs" / "walk_kernel.c"
+
+_RBB_ABI = SymbolABI(
+    name="rbb_run",
+    argtypes=(
         ctypes.POINTER(ctypes.c_int32),  # loads (R, n)
         ctypes.c_int64,  # R
         ctypes.c_int64,  # n
@@ -105,14 +144,15 @@ def _declare_rbb(lib: ctypes.CDLL):
         ctypes.POINTER(ctypes.c_int64),  # first_legit (R,)
         ctypes.POINTER(ctypes.c_int64),  # rounds_done (R,)
         ctypes.POINTER(ctypes.c_uint8),  # active (R,)
-    ] + _obs_tail()
-    fn.restype = None
-    return fn
+    )
+    + _obs_tail(),
+    restype=None,
+    source=_RBB_SOURCE,
+)
 
-
-def _declare_walks(lib: ctypes.CDLL):
-    fn = lib.walks_run
-    fn.argtypes = [
+_WALKS_ABI = SymbolABI(
+    name="walks_run",
+    argtypes=(
         ctypes.POINTER(ctypes.c_int32),  # loads (R, n)
         ctypes.c_int64,  # R
         ctypes.c_int64,  # n
@@ -132,15 +172,48 @@ def _declare_walks(lib: ctypes.CDLL):
         ctypes.POINTER(ctypes.c_uint8),  # active (R,)
         ctypes.POINTER(ctypes.c_int32),  # scratch (n_threads, n)
         ctypes.POINTER(ctypes.c_int32),  # sources (n_threads, n)
-    ] + _obs_tail()
-    fn.restype = None
+    )
+    + _obs_tail(),
+    restype=None,
+    source=_WALKS_SOURCE,
+)
+
+_PROBE_ABI = SymbolABI(
+    name="repro_threading_model",
+    argtypes=(),
+    restype=ctypes.c_int,
+    source=_COMMON_HEADER,
+)
+
+#: Every exported symbol of the compiled kernels, by name.  The lint ABI
+#: checker walks this mapping and verifies each entry against the
+#: ``REPRO_ABI``-marked C definition in ``SymbolABI.source``.
+KERNEL_ABI: Dict[str, SymbolABI] = {
+    abi.name: abi for abi in (_RBB_ABI, _WALKS_ABI, _PROBE_ABI)
+}
+
+
+def kernel_abi() -> Dict[str, SymbolABI]:
+    """The declared C entry points, by symbol name (a defensive copy)."""
+    return dict(KERNEL_ABI)
+
+
+def _declare(lib: ctypes.CDLL, abi: SymbolABI):
+    """Apply one symbol's declared signature to a loaded library.
+
+    A missing symbol raises ``AttributeError`` — that is an ABI bug
+    (kernel and loader out of sync), not a recoverable condition.
+    """
+    fn = getattr(lib, abi.name)
+    fn.argtypes = list(abi.argtypes)
+    fn.restype = abi.restype
     return fn
 
 
 @dataclass(frozen=True)
 class _KernelSpec:
     source: Path
-    declare: Callable[[ctypes.CDLL], object]
+    abi: SymbolABI
     headers: Tuple[Path, ...] = (_COMMON_HEADER,)
 
 
@@ -154,19 +227,14 @@ class _LoadedKernel:
 
 
 _KERNELS: Dict[str, _KernelSpec] = {
-    "rbb": _KernelSpec(
-        source=_PACKAGE_ROOT / "core" / "rbb_kernel.c", declare=_declare_rbb
-    ),
-    "walks": _KernelSpec(
-        source=_PACKAGE_ROOT / "graphs" / "walk_kernel.c",
-        declare=_declare_walks,
-    ),
+    "rbb": _KernelSpec(source=_RBB_SOURCE, abi=_RBB_ABI),
+    "walks": _KernelSpec(source=_WALKS_SOURCE, abi=_WALKS_ABI),
 }
 
 #: Names of the compiled kernels this module can load.
 KERNEL_NAMES: Tuple[str, ...] = tuple(_KERNELS)
 
-_CACHE: Dict[str, _LoadedKernel] = {}
+_CACHE: Dict[Tuple[str, Optional[str]], _LoadedKernel] = {}
 
 
 def _cache_dir() -> Path:
@@ -200,6 +268,53 @@ _FLAG_VARIANTS: Tuple[Tuple[str, ...], ...] = tuple(
         [],
     )
 )
+
+#: ``REPRO_SANITIZE`` modes -> the flags appended to every variant.
+#: ``-fno-omit-frame-pointer`` keeps sanitizer stack traces readable.
+SANITIZE_MODES: Dict[str, Tuple[str, ...]] = {
+    "asan": ("-fsanitize=address", "-fno-omit-frame-pointer"),
+    "ubsan": (
+        "-fsanitize=undefined",
+        "-fno-sanitize-recover=all",
+        "-fno-omit-frame-pointer",
+    ),
+    "tsan": ("-fsanitize=thread", "-fno-omit-frame-pointer"),
+}
+
+
+def sanitize_mode() -> Optional[str]:
+    """The active ``REPRO_SANITIZE`` mode, or ``None`` for fast builds."""
+    raw = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    if not raw:
+        return None
+    if raw not in SANITIZE_MODES:
+        raise ConfigurationError(
+            f"REPRO_SANITIZE must be one of {', '.join(SANITIZE_MODES)} "
+            f"(or unset), got {raw!r}"
+        )
+    return raw
+
+
+def _variant_ladder(mode: Optional[str]) -> Tuple[Tuple[str, ...], ...]:
+    """The flag-variant ladder for one sanitize mode (best first).
+
+    Sanitized variants append the mode's ``-fsanitize=...`` flags to every
+    fast variant; under TSan ``-march=native`` is dropped (TSan's
+    instrumentation of aggressively vectorized code is a known source of
+    false positives and miscompiles on older toolchains).  Duplicates
+    created by the drop collapse, preserving order.
+    """
+    if mode is None:
+        return _FLAG_VARIANTS
+    extra = SANITIZE_MODES[mode]
+    ladder: List[Tuple[str, ...]] = []
+    for flags in _FLAG_VARIANTS:
+        if mode == "tsan":
+            flags = tuple(f for f in flags if f != "-march=native")
+        variant = tuple(flags) + extra
+        if variant not in ladder:
+            ladder.append(variant)
+    return tuple(ladder)
 
 
 def _fingerprint(spec: _KernelSpec, cc: str, flags: Tuple[str, ...]) -> str:
@@ -247,21 +362,29 @@ def _compile(
         os.replace(tmp_path, out)  # atomic: concurrent builds are safe
         return
     tmp_path.unlink(missing_ok=True)
-    raise RuntimeError(f"compilation failed: {proc.stderr.strip()[:500]}")
+    raise subprocess.CalledProcessError(
+        proc.returncode, cmd, output=proc.stdout, stderr=proc.stderr
+    )
+
+
+def _describe_error(exc: BaseException) -> str:
+    """One-line diagnostic for a failed compile/load attempt."""
+    if isinstance(exc, subprocess.CalledProcessError):
+        detail = (exc.stderr or "").strip()[:500]
+        return f"compilation failed: {detail or exc}"
+    return str(exc)
 
 
 def _probe_threading(lib: ctypes.CDLL) -> str:
     """Which threading backend the loaded binary was compiled with."""
     try:
-        probe = lib.repro_threading_model
-        probe.argtypes = []
-        probe.restype = ctypes.c_int
-        return THREAD_MODELS.get(int(probe()), "serial")
-    except Exception:  # noqa: BLE001 - pre-header binaries lack the symbol
+        probe = _declare(lib, _PROBE_ABI)
+    except AttributeError:  # pre-header binaries lack the symbol
         return "serial"
+    return THREAD_MODELS.get(int(probe()), "serial")
 
 
-def _load(name: str) -> _LoadedKernel:
+def _load(name: str, mode: Optional[str]) -> _LoadedKernel:
     spec = _KERNELS[name]
     if os.environ.get("REPRO_NATIVE", "").strip() == "0":
         return _LoadedKernel(None, "disabled via REPRO_NATIVE=0", "unavailable")
@@ -280,30 +403,39 @@ def _load(name: str) -> _LoadedKernel:
             "unavailable",
         )
     last_error = "no flag variant compiled"
-    for flags in _FLAG_VARIANTS:
+    for flags in _variant_ladder(mode):
         fingerprint = _fingerprint(spec, cc, flags)
-        lib_path = _cache_dir() / f"{spec.source.stem}-{fingerprint}.so"
+        stem = spec.source.stem if mode is None else f"{spec.source.stem}-{mode}"
+        lib_path = _cache_dir() / f"{stem}-{fingerprint}.so"
         marker = lib_path.with_suffix(".failed")
+        # Compilation can fail (CalledProcessError/TimeoutExpired) and a
+        # cached or fresh binary can fail to load (OSError, e.g. a missing
+        # sanitizer runtime); both legitimately fall through to the next
+        # flag variant.  Anything else — in particular AttributeError from
+        # a symbol the loader declares but the kernel no longer exports —
+        # is a programming error and surfaces immediately.
         try:
             if not lib_path.exists():
                 if marker.exists():
                     continue  # this variant is known not to compile here
                 _compile(spec, lib_path, cc, flags)
             lib = ctypes.CDLL(str(lib_path))
-            kernel = spec.declare(lib)
-        except Exception as exc:  # noqa: BLE001 - try the next variant
-            last_error = str(exc)
+        except (subprocess.SubprocessError, OSError) as exc:
+            last_error = _describe_error(exc)
             try:
                 marker.parent.mkdir(parents=True, exist_ok=True)
                 marker.write_text(last_error[:2000])
             except OSError:
                 pass
             continue
+        kernel = _declare(lib, spec.abi)
         threading = _probe_threading(lib)
         flag_label = " ".join(flags) if flags else "(base flags)"
+        sanitize_label = "" if mode is None else f" [sanitize={mode}]"
         return _LoadedKernel(
             kernel,
-            f"compiled with {cc} {flag_label} [{threading}] -> {lib_path}",
+            f"compiled with {cc} {flag_label} [{threading}]"
+            f"{sanitize_label} -> {lib_path}",
             threading,
         )
     return _LoadedKernel(
@@ -316,9 +448,11 @@ def _resolve(name: str) -> _LoadedKernel:
         raise KeyError(
             f"unknown native kernel {name!r}; available: {', '.join(KERNEL_NAMES)}"
         )
-    if name not in _CACHE:
-        _CACHE[name] = _load(name)
-    return _CACHE[name]
+    mode = sanitize_mode()
+    key = (name, mode)
+    if key not in _CACHE:
+        _CACHE[key] = _load(name, mode)
+    return _CACHE[key]
 
 
 def native_available(kernel: str = "rbb") -> bool:

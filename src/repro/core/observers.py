@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Sequence
 
-import numpy as np
 
 from ..types import LoadVector, Observer
 

@@ -191,7 +191,7 @@ static void rbb_replica(void *vctx, int64_t r, int tid)
  * obs_sum        (n_obs, R) int64 load sum per slot, or NULL to skip moments
  * obs_sumsq      (n_obs, R) int64 load sum-of-squares per slot, or NULL
  */
-void rbb_run(int32_t *loads, int64_t R, int64_t n, int64_t rounds,
+REPRO_ABI void rbb_run(int32_t *loads, int64_t R, int64_t n, int64_t rounds,
              uint64_t *rng_state, double threshold, int stop_when_legitimate,
              int32_t *max_seen, int32_t *min_empty_seen, int64_t *first_legit,
              int64_t *rounds_done, uint8_t *active, int32_t n_threads,

@@ -39,7 +39,6 @@ from functools import lru_cache
 from typing import Optional, Tuple
 
 import networkx as nx
-import numpy as np
 
 from .topology import Topology
 from ..errors import GraphError

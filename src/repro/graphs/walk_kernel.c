@@ -228,7 +228,7 @@ static void walks_replica(void *vctx, int64_t r, int tid)
  * obs_sum        (n_obs, R) int64 load sum per slot, or NULL to skip moments
  * obs_sumsq      (n_obs, R) int64 load sum-of-squares per slot, or NULL
  */
-void walks_run(int32_t *loads, int64_t R, int64_t n, const int32_t *neighbors,
+REPRO_ABI void walks_run(int32_t *loads, int64_t R, int64_t n, const int32_t *neighbors,
                const int64_t *offsets, const int32_t *degrees,
                const uint32_t *lims, int64_t rounds, uint64_t *rng_state,
                double threshold, int stop_when_legitimate, int constrained,

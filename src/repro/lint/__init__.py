@@ -1,0 +1,57 @@
+"""Project-invariant linter and C<->ctypes ABI cross-checker.
+
+The rules this package enforces are the repo's standing invariants:
+
+========  ==================  ==============================================
+Rule      Slug                Invariant
+========  ==================  ==============================================
+``R1``    unseeded-rng        all randomness derives from parallel.seeding
+``R2``    wall-clock          engine code is a pure function of (spec, seed)
+``R3``    spec-json-scalar    specs round-trip through canonical JSON
+``R4``    observer-protocol   every metric speaks bind/observe/payload
+``R5``    broad-except        no blanket handlers without a reasoned pragma
+``ABI``   abi-drift           C kernel signatures match the ctypes mirror
+========  ==================  ==============================================
+
+Run it as ``repro lint`` or ``python -m repro.lint``; programmatic use
+goes through :func:`run_lint`.
+"""
+
+from .abi import CFunction, CParam, check_abi, compare_symbol, parse_exported_functions
+from .contracts import check_observer_contracts, check_spec_contracts
+from .doc import render_static_analysis_doc
+from .engine import LintReport, default_root, run_lint
+from .findings import Finding, RULE_IDS, RULES, RuleInfo, rule_by_id
+from .rules import (
+    R1_EXEMPT_FILES,
+    R2_SCOPE_DIRS,
+    check_broad_except,
+    check_unseeded_rng,
+    check_wall_clock,
+    collect_pragmas,
+)
+
+__all__ = [
+    "Finding",
+    "RuleInfo",
+    "RULES",
+    "RULE_IDS",
+    "rule_by_id",
+    "LintReport",
+    "run_lint",
+    "default_root",
+    "collect_pragmas",
+    "check_unseeded_rng",
+    "check_wall_clock",
+    "check_broad_except",
+    "check_spec_contracts",
+    "check_observer_contracts",
+    "check_abi",
+    "compare_symbol",
+    "parse_exported_functions",
+    "CParam",
+    "CFunction",
+    "R1_EXEMPT_FILES",
+    "R2_SCOPE_DIRS",
+    "render_static_analysis_doc",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` — run the project linter."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,112 @@
+"""Command-line front end for the project linter.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  Invoked either as
+``python -m repro.lint`` or through the umbrella ``repro lint``
+subcommand (which delegates here).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import default_root, run_lint
+from .findings import RULES
+
+__all__ = ["build_parser", "main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Project-invariant linter: seeded-RNG discipline, wall-clock "
+            "bans, spec serializability, observer protocol, broad-except "
+            "hygiene, and the C<->ctypes ABI cross-check."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help=(
+            "directory tree to lint with the AST rules "
+            "(default: the installed repro package)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help=(
+            "comma-separated rule ids or slugs to run "
+            "(default: all rules); e.g. --select R1,R5 or "
+            "--select abi-drift"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for info in RULES:
+        pragma = (
+            f"suppressible via # lint: allow-{info.slug}(reason)"
+            if info.suppressible
+            else "not suppressible"
+        )
+        lines.append(f"{info.rule} [{info.slug}] {info.title} ({pragma})")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; keep both.
+        return int(exc.code or 0)
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+    root = args.root if args.root is not None else default_root()
+    if not Path(root).is_dir():
+        print(f"repro lint: --root {root} is not a directory", file=sys.stderr)
+        return EXIT_USAGE
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [token for token in args.select.split(",") if token.strip()]
+        if not select:
+            print("repro lint: --select needs at least one rule", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        report = run_lint(root=root, select=select)
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

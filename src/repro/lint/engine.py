@@ -1,0 +1,167 @@
+"""Lint engine: file discovery, rule dispatch, and report assembly.
+
+``run_lint`` walks every Python module under the lint root (by default
+the installed ``repro`` package itself), runs the AST rules per file,
+then the structural rules (R3/R4 contracts, the ABI cross-check) once.
+Findings come back sorted and deduplicated; the CLI turns them into an
+exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, RULE_IDS, rule_by_id
+from .rules import (
+    check_broad_except,
+    check_unseeded_rng,
+    check_wall_clock,
+    collect_pragmas,
+)
+
+__all__ = ["LintReport", "run_lint", "default_root", "normalize_selection"]
+
+#: Rules that run once per Python file on its AST.
+_AST_RULES = {
+    "R1": check_unseeded_rng,
+    "R2": check_wall_clock,
+    "R5": check_broad_except,
+}
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (the self-hosting root)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def normalize_selection(select: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    """Validate a rule selection (ids or slugs) into canonical rule ids."""
+    if select is None:
+        return RULE_IDS
+    if isinstance(select, str):
+        select = [token for token in select.split(",") if token.strip()]
+    resolved = []
+    for token in select:
+        info = rule_by_id(token.strip())  # raises KeyError on unknown rules
+        if info.rule not in resolved:
+            resolved.append(info.rule)
+    return tuple(resolved)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: Tuple[Finding, ...]
+    rules: Tuple[str, ...]
+    n_files: int
+    root: str
+    skipped: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"repro lint: {len(self.findings)} finding(s) across "
+            f"{self.n_files} file(s) under {self.root} "
+            f"[rules: {', '.join(self.rules)}]"
+        )
+        if self.clean:
+            summary = (
+                f"repro lint: clean — {self.n_files} file(s) under "
+                f"{self.root} [rules: {', '.join(self.rules)}]"
+            )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "rules": list(self.rules),
+            "n_files": self.n_files,
+            "clean": self.clean,
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "rule": f.rule,
+                    "slug": f.slug,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+        }
+
+
+def iter_python_files(root: Path) -> List[Path]:
+    """Every ``.py`` file under ``root`` (sorted, ``__pycache__`` skipped)."""
+    return sorted(
+        p
+        for p in root.rglob("*.py")
+        if "__pycache__" not in p.parts
+    )
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the selected rules and return a sorted, stable report.
+
+    ``root`` defaults to the installed ``repro`` package.  The AST rules
+    (R1/R2/R5) run over the files below ``root``; R3/R4/ABI are
+    structural — they check the imported library and the kernel sources
+    regardless of ``root``, so pointing ``root`` at a fixture tree and
+    selecting only AST rules is how the linter lints its own test bait.
+    """
+    root = Path(root) if root is not None else default_root()
+    rules = normalize_selection(select)
+    findings: List[Finding] = []
+    files = iter_python_files(root) if any(r in _AST_RULES for r in rules) else []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rel,
+                    exc.lineno or 0,
+                    "R0",
+                    "parse-error",
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        pragmas, pragma_findings = collect_pragmas(source, rel)
+        findings.extend(pragma_findings)
+        for rule in rules:
+            checker = _AST_RULES.get(rule)
+            if checker is not None:
+                findings.extend(checker(tree, rel, pragmas))
+    if "R3" in rules:
+        from .contracts import check_spec_contracts
+
+        findings.extend(check_spec_contracts())
+    if "R4" in rules:
+        from .contracts import check_observer_contracts
+
+        findings.extend(check_observer_contracts())
+    if "ABI" in rules:
+        from .abi import check_abi
+
+        findings.extend(check_abi())
+    unique: Set[Finding] = set(findings)
+    return LintReport(
+        findings=tuple(sorted(unique)),
+        rules=rules,
+        n_files=len(files),
+        root=str(root),
+    )

@@ -17,7 +17,6 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-import numpy as np
 
 from .seeding import trial_seeds
 from ..errors import ConfigurationError
@@ -38,7 +37,7 @@ def _is_picklable(obj) -> bool:
     try:
         pickle.dumps(obj)
         return True
-    except Exception:
+    except Exception:  # lint: allow-broad-except(a picklability probe must treat any failure as "not picklable")
         return False
 
 

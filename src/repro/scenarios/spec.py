@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Tuple
 
 from ..errors import ScenarioError
 
@@ -81,6 +81,18 @@ _FIELD_RULES = {
 }
 
 _PAYLOAD_FIELDS = ("count", "adversary", "topology", "value")
+
+
+class EnsembleLike(Protocol):
+    """The duck-typed surface :meth:`ScenarioSpec.validate_for` reads.
+
+    :class:`~repro.parallel.ensemble.EnsembleSpec` qualifies; ``process``
+    and ``n_balls`` are probed via ``getattr`` with defaults, so they are
+    not part of the protocol.
+    """
+
+    n_bins: int
+    rounds: int
 
 
 @dataclass(frozen=True)
@@ -167,16 +179,16 @@ class ScenarioEvent:
         last = rounds if self.until is None else min(self.until, rounds)
         return tuple(range(self.round, last + 1, self.every))
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """The JSON-shaped dict (only the fields that are set)."""
-        out = {"kind": self.kind, "round": self.round}
+        out: Dict[str, Any] = {"kind": self.kind, "round": self.round}
         for name in ("every", "until", *_PAYLOAD_FIELDS):
             if getattr(self, name) is not None:
                 out[name] = getattr(self, name)
         return out
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "ScenarioEvent":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioEvent":
         if not isinstance(data, Mapping):
             raise ScenarioError(
                 f"an event must be a mapping, got {type(data).__name__}"
@@ -235,7 +247,7 @@ class ScenarioSpec:
         firings.sort(key=lambda pair: pair[0])
         return firings
 
-    def validate_for(self, spec) -> None:
+    def validate_for(self, spec: EnsembleLike) -> None:
         """Check this scenario against an ensemble-like spec (duck-typed).
 
         ``spec`` needs ``n_bins``, ``rounds``, ``process`` and (for
@@ -259,6 +271,7 @@ class ScenarioSpec:
                     )
                 from ..graphs.generators import resolve_topology
 
+                assert event.topology is not None  # required for rewire
                 topology = resolve_topology(event.topology)
                 if topology.num_nodes != n_bins:
                     raise ScenarioError(
@@ -267,14 +280,17 @@ class ScenarioSpec:
                         f"the run has {n_bins}"
                     )
             elif event.kind == "bin_churn":
+                assert event.count is not None  # required for bin_churn
                 if event.count > n_bins - 1:
                     raise ScenarioError(
                         f"bin_churn at round {when}: count {event.count} "
                         f"leaves no surviving bin (n_bins={n_bins})"
                     )
             elif event.kind == "burst":
+                assert event.count is not None  # required for burst
                 balls += event.count
             elif event.kind == "drain":
+                assert event.count is not None  # required for drain
                 if event.count > balls:
                     raise ScenarioError(
                         f"drain at round {when}: removing {event.count} "
@@ -285,8 +301,8 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     # (De)serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        out: dict = {"events": [event.to_dict() for event in self.events]}
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"events": [event.to_dict() for event in self.events]}
         if self.name is not None:
             out["name"] = self.name
         if self.description:
@@ -294,7 +310,7 @@ class ScenarioSpec:
         return out
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
         if not isinstance(data, Mapping):
             raise ScenarioError(
                 f"a scenario must be a mapping, got {type(data).__name__}"

@@ -43,7 +43,6 @@ from __future__ import annotations
 import dataclasses
 import json
 import warnings
-from io import BytesIO
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Union
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Mapping, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..parallel.ensemble import EnsembleSpec

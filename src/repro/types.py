@@ -7,9 +7,10 @@ the hot path.
 
 from __future__ import annotations
 
-from typing import Protocol, Union, runtime_checkable
+from typing import Any, Protocol, Union, runtime_checkable
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "LoadVector",
@@ -19,7 +20,9 @@ __all__ = [
 ]
 
 #: A length-``n`` integer vector; entry ``u`` is the number of balls in bin ``u``.
-LoadVector = np.ndarray
+#: The engines use ``int32``/``int64`` interchangeably, so the alias is
+#: parameterized over any signed-integer dtype.
+LoadVector = npt.NDArray[np.signedinteger[Any]]
 
 #: Anything accepted by :func:`repro.rng.as_generator`.
 SeedLike = Union[int, None, np.random.Generator, np.random.SeedSequence]

@@ -1,0 +1,38 @@
+/* ABI bait: REPRO_ABI-marked exports the tests cross-check against
+ * deliberately wrong ctypes declarations. */
+#include <stdint.h>
+
+#define REPRO_ABI
+
+/* matches a correct mirror: (int32_t*, int64_t, int64_t) -> void */
+REPRO_ABI void good_fn(int32_t *loads, int64_t n, int64_t rounds) {
+    (void)loads; (void)n; (void)rounds;
+}
+
+/* the tests declare this with 2 argtypes: arity drift */
+REPRO_ABI void arity_fn(int32_t *loads, int64_t n, int64_t rounds) {
+    (void)loads; (void)n; (void)rounds;
+}
+
+/* the tests declare the pointee as int64: width drift */
+REPRO_ABI void width_fn(int32_t *loads, int64_t n) {
+    (void)loads; (void)n;
+}
+
+/* the tests swap the argument order */
+REPRO_ABI void order_fn(int64_t n, int32_t *loads) {
+    (void)loads; (void)n;
+}
+
+/* the tests declare restype c_int64: return drift */
+REPRO_ABI int32_t ret_fn(void) {
+    return 0;
+}
+
+/* marked in C but never declared in the tests' symbol table */
+REPRO_ABI void orphan_fn(void) {}
+
+/* unmarked: invisible to the checker by design */
+static int64_t helper(int64_t x) {
+    return x + 1;
+}

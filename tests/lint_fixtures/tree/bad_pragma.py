@@ -1,0 +1,22 @@
+"""Malformed-pragma bait: each pragma here is itself a finding."""
+
+
+def no_reason(fn):
+    try:
+        return fn()
+    except Exception:  # lint: allow-broad-except
+        return None
+
+
+def empty_reason(fn):
+    try:
+        return fn()
+    except Exception:  # lint: allow-broad-except(   )
+        return None
+
+
+def unknown_slug(fn):
+    try:
+        return fn()
+    except Exception:  # lint: allow-wishful-thinking(not a rule)
+        return None

@@ -1,0 +1,22 @@
+"""R5 bait: blanket exception handlers without pragmas."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # line 7: R5
+        return None
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # noqa: E722 - line 14: R5 (bare)
+        return None
+
+
+def narrow_is_fine(fn):
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return None

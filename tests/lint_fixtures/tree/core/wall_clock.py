@@ -1,0 +1,17 @@
+"""R2 bait: wall-clock and OS nondeterminism in an engine-scope module."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()  # line 9: R2
+    when = datetime.now()  # line 10: R2
+    noise = os.urandom(8)  # line 11: R2
+    return started, when, noise
+
+
+def legitimate_duration():
+    # perf_counter is monotonic, not wall clock: allowed.
+    return time.perf_counter()

@@ -15,7 +15,6 @@ from repro.adversary.adversaries import (
     get_adversary,
 )
 from repro.adversary.faulty_process import FaultSchedule, FaultyProcess
-from repro.core.config import LoadConfiguration
 from repro.errors import ConfigurationError
 
 

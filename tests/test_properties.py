@@ -9,8 +9,7 @@ inputs rather than hand-picked ones.
 from __future__ import annotations
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import LoadConfiguration

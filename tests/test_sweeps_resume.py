@@ -18,7 +18,7 @@ import pytest
 
 from repro.store import ResultStore, StreamingMoments
 from repro.store.store import METRICS
-from repro.sweeps import SweepSpec, expand_sweep, resume_sweep, run_sweep
+from repro.sweeps import SweepSpec, resume_sweep, run_sweep
 
 SEED = 20150613  # SPAA'15
 
